@@ -1,0 +1,138 @@
+(* Benchmark harness: regenerates every table/figure of the paper's
+   evaluation (Figs. 5, 6, 8, 9), the ablations documented in DESIGN.md, and
+   Bechamel micro-benchmarks of the synthesis passes.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe fig5       -- one figure
+     dune exec bench/main.exe quick      -- subsampled smoke run
+     dune exec bench/main.exe perf       -- Bechamel pass benchmarks only *)
+
+let fig5 () = Experiments.Fig5.print (Experiments.Fig5.run ())
+let fig6 () = Experiments.Fig6.print (Experiments.Fig6.run ())
+let fig8 () = Experiments.Fig8.print (Experiments.Fig8.run ())
+let fig9 () = Experiments.Fig9.print (Experiments.Fig9.run ())
+
+let quick () =
+  Experiments.Fig5.print
+    (Experiments.Fig5.run ~seeds:[ 0 ] ~grid:Experiments.Fig5.quick_grid ());
+  Experiments.Fig6.print
+    (Experiments.Fig6.run ~seeds:[ 0 ] ~grid:Experiments.Fig6.quick_grid ());
+  Experiments.Fig8.print (Experiments.Fig8.run ~widths:[ 2; 8; 32; 64 ] ());
+  Experiments.Fig9.print (Experiments.Fig9.run ())
+
+let ablations () =
+  Experiments.Ablation.cone_cap ();
+  Experiments.Ablation.twolevel ();
+  Experiments.Ablation.annot_cap ();
+  Experiments.Ablation.encodings ();
+  Experiments.Ablation.library_richness ();
+  Experiments.Ablation.microcode_style ()
+
+(* One Bechamel test per synthesis stage, all in one executable. *)
+let perf () =
+  let open Bechamel in
+  let tt = Workload.Rand_table.generate ~seed:0 ~depth:256 ~width:8 in
+  let bound =
+    Synth.Partial_eval.bind_tables
+      (Core.Truth_table.to_flexible_rtl tt)
+      [ Core.Truth_table.config_binding tt ]
+  in
+  let fsm =
+    Workload.Rand_fsm.generate ~seed:0 ~num_inputs:2 ~num_outputs:8
+      ~num_states:16
+  in
+  let fsm_design =
+    Synth.Partial_eval.bind_tables
+      (Core.Fsm_ir.to_flexible_rtl ~annotate:true fsm)
+      (Core.Fsm_ir.config_bindings fsm)
+  in
+  let lowered_fsm = (Synth.Lower.run fsm_design).Synth.Lower.aig in
+  let tf =
+    let rng = Workload.Rng.make 99 in
+    Twolevel.Truthfn.of_fun ~nvars:10 (fun _ ->
+        if Workload.Rng.int rng 2 = 0 then Twolevel.Truthfn.On
+        else Twolevel.Truthfn.Off)
+  in
+  let lib = Cells.Library.vt90 in
+  let pipe_lowered =
+    Synth.Lower.run
+      (Synth.Partial_eval.bind_tables
+         (Core.Fsm_ir.to_flexible_rtl Pctrl.Datapipe.fsm)
+         (Core.Fsm_ir.config_bindings Pctrl.Datapipe.fsm))
+  in
+  let stage name f = Test.make ~name (Staged.stage f) in
+  let tests =
+    Test.make_grouped ~name:"passes"
+      [
+        stage "lower-256x8-table" (fun () -> Synth.Lower.run bound);
+        stage "espresso-10var" (fun () -> Twolevel.Espresso.minimize tf);
+        stage "collapse-fsm16" (fun () -> Synth.Collapse.run ~annots:[] lowered_fsm);
+        stage "sweep-fsm16" (fun () -> Synth.Sweep.run lowered_fsm);
+        stage "map-fsm16" (fun () -> Synth.Map.run lib lowered_fsm);
+        stage "flow-fsm16" (fun () -> Synth.Flow.compile lib fsm_design);
+        stage "bdd-reach-pipe" (fun () ->
+            match
+              Synth.Reach.latch_group pipe_lowered.Synth.Lower.aig
+                ~prefix:"state"
+            with
+            | Some group ->
+              ignore
+                (Synth.Reach.reachable_values pipe_lowered.Synth.Lower.aig
+                   ~group)
+            | None -> ());
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  print_endline "== Bechamel: synthesis pass timings (monotonic clock) ==";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some (t :: _) -> t
+        | Some [] | None -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  List.iter
+    (fun (name, ns) ->
+      if ns > 1_000_000.0 then
+        Printf.printf "%-32s %10.3f ms/run\n" name (ns /. 1e6)
+      else Printf.printf "%-32s %10.1f ns/run\n" name ns)
+    (List.sort Stdlib.compare !rows);
+  print_newline ()
+
+let all () =
+  fig5 ();
+  fig6 ();
+  fig8 ();
+  fig9 ();
+  ablations ();
+  perf ()
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _ ] | [ _; "all" ] -> all ()
+  | [ _; "fig5" ] -> fig5 ()
+  | [ _; "fig6" ] -> fig6 ()
+  | [ _; "fig8" ] -> fig8 ()
+  | [ _; "fig9" ] -> fig9 ()
+  | [ _; "quick" ] -> quick ()
+  | [ _; "perf" ] -> perf ()
+  | [ _; "ablate-cone" ] -> Experiments.Ablation.cone_cap ()
+  | [ _; "ablate-twolevel" ] -> Experiments.Ablation.twolevel ()
+  | [ _; "ablate-cap" ] -> Experiments.Ablation.annot_cap ()
+  | [ _; "ablate-encodings" ] -> Experiments.Ablation.encodings ()
+  | [ _; "ablate-library" ] -> Experiments.Ablation.library_richness ()
+  | [ _; "ablate-ucode" ] -> Experiments.Ablation.microcode_style ()
+  | [ _; "ablations" ] -> ablations ()
+  | _ ->
+    prerr_endline
+      "usage: main.exe \
+       [all|quick|fig5|fig6|fig8|fig9|ablations|ablate-cone|ablate-twolevel|ablate-cap|perf]";
+    exit 2

@@ -1,0 +1,265 @@
+(* ctrlgen — command-line front end to the controller-generator library.
+
+   Subcommands:
+     synth       generate a random controller and synthesize it
+     asm         assemble a microprogram and report on it
+     design      load a serialized design; synthesize / emit verilog,
+                 gate-level netlist or AIGER; optionally with a user cell
+                 library (Liberty-lite)
+     pctrl       build and synthesize the protocol-controller case study
+     experiment  regenerate a paper figure or ablation *)
+
+open Cmdliner
+
+let lib = Cells.Library.vt90
+
+let print_report prefix (report : Synth.Map.report) =
+  Format.printf "%s: %a@." prefix Synth.Map.pp_report report
+
+let flow_options ~annotate ~retime =
+  { Synth.Flow.default with honor_generator_annots = annotate; retime }
+
+(* ------------------------------------------------------------------ synth *)
+
+let synth_kind =
+  let doc = "Controller kind: $(b,table) or $(b,fsm)." in
+  Arg.(value & opt (enum [ ("table", `Table); ("fsm", `Fsm) ]) `Fsm
+       & info [ "kind" ] ~doc)
+
+let style_arg =
+  let doc =
+    "Implementation style: $(b,flexible) (configuration memories), \
+     $(b,bound) (partially evaluated) or $(b,direct)."
+  in
+  Arg.(value
+       & opt (enum [ ("flexible", `Flexible); ("bound", `Bound); ("direct", `Direct) ])
+           `Bound
+       & info [ "style" ] ~doc)
+
+let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Random seed.")
+
+let synth_cmd =
+  let run kind style seed depth width inputs outputs states annotate retime
+      dump_verilog dump_netlist =
+    let design =
+      match kind with
+      | `Table ->
+        let tt = Workload.Rand_table.generate ~seed ~depth ~width in
+        (match style with
+         | `Flexible -> Core.Truth_table.to_flexible_rtl tt
+         | `Bound ->
+           Synth.Partial_eval.bind_tables
+             (Core.Truth_table.to_flexible_rtl tt)
+             [ Core.Truth_table.config_binding tt ]
+         | `Direct -> Core.Truth_table.to_sop_rtl tt)
+      | `Fsm ->
+        let fsm =
+          Workload.Rand_fsm.generate ~seed ~num_inputs:inputs
+            ~num_outputs:outputs ~num_states:states
+        in
+        (match style with
+         | `Flexible -> Core.Fsm_ir.to_flexible_rtl ~annotate fsm
+         | `Bound ->
+           Synth.Partial_eval.bind_tables
+             (Core.Fsm_ir.to_flexible_rtl ~annotate fsm)
+             (Core.Fsm_ir.config_bindings fsm)
+         | `Direct -> Core.Fsm_ir.to_direct_rtl fsm)
+    in
+    Format.printf "%s@." (Rtl.Design.stats design);
+    if dump_verilog then print_string (Rtl.Verilog.emit design);
+    let result =
+      Synth.Flow.compile ~options:(flow_options ~annotate ~retime) lib design
+    in
+    Format.printf "optimized: %s@." (Aig.stats result.Synth.Flow.aig);
+    print_report "mapped" result.Synth.Flow.report;
+    if dump_netlist then
+      print_string
+        (Synth.Netlist.emit lib ~name:design.Rtl.Design.name
+           result.Synth.Flow.aig)
+  in
+  let depth = Arg.(value & opt int 64 & info [ "depth" ] ~doc:"Table depth.") in
+  let width = Arg.(value & opt int 8 & info [ "width" ] ~doc:"Table width.") in
+  let inputs = Arg.(value & opt int 2 & info [ "inputs" ] ~doc:"FSM input bits.") in
+  let outputs = Arg.(value & opt int 8 & info [ "outputs" ] ~doc:"FSM output bits.") in
+  let states = Arg.(value & opt int 8 & info [ "states" ] ~doc:"FSM state count.") in
+  let annotate =
+    Arg.(value & flag
+         & info [ "annotate" ] ~doc:"Emit and honour generator annotations.")
+  in
+  let retime = Arg.(value & flag & info [ "retime" ] ~doc:"Enable retiming.") in
+  let verilog =
+    Arg.(value & flag & info [ "verilog" ] ~doc:"Dump the design as Verilog.")
+  in
+  let netlist =
+    Arg.(value & flag
+         & info [ "netlist" ] ~doc:"Dump the mapped gate-level netlist.")
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Generate a random controller and synthesize it.")
+    Term.(const run $ synth_kind $ style_arg $ seed_arg $ depth $ width
+          $ inputs $ outputs $ states $ annotate $ retime $ verilog $ netlist)
+
+(* -------------------------------------------------------------------- asm *)
+
+let asm_cmd =
+  let run file dump_verilog storage do_synth =
+    let source = In_channel.with_open_text file In_channel.input_all in
+    match Core.Microasm.parse source with
+    | exception Core.Microasm.Parse_error (line, msg) ->
+      Format.eprintf "%s:%d: %s@." file line msg;
+      exit 1
+    | p ->
+      Format.printf "program %s: %d instructions, %d-bit words, entry %d@."
+        p.Core.Microcode.pname
+        (Core.Microcode.depth p)
+        (Core.Microcode.word_width p)
+        p.Core.Microcode.entry;
+      Format.printf "reachable addresses: %s@."
+        (String.concat ", "
+           (List.map string_of_int (Core.Microcode.reachable_addrs p)));
+      List.iter
+        (fun (f : Core.Microcode.field) ->
+          Format.printf "field %s values: %s@." f.fname
+            (String.concat ", "
+               (List.map string_of_int
+                  (Core.Microcode.field_value_set p f.fname))))
+        p.Core.Microcode.format;
+      let storage = if storage = "config" then `Config else `Rom in
+      let design = Core.Microcode.to_rtl ~storage p in
+      if dump_verilog then print_string (Rtl.Verilog.emit design);
+      if do_synth then begin
+        let design =
+          match storage with
+          | `Rom -> design
+          | `Config ->
+            Synth.Partial_eval.bind_tables design (Core.Microcode.config_bindings p)
+        in
+        let result = Synth.Flow.compile lib design in
+        print_report "mapped" result.Synth.Flow.report
+      end
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"Microassembly source file.")
+  in
+  let verilog = Arg.(value & flag & info [ "verilog" ] ~doc:"Dump Verilog.") in
+  let storage =
+    Arg.(value & opt string "rom" & info [ "storage" ] ~doc:"rom or config.")
+  in
+  let do_synth = Arg.(value & flag & info [ "synth" ] ~doc:"Also synthesize.") in
+  Cmd.v
+    (Cmd.info "asm" ~doc:"Assemble a microprogram and report on it.")
+    Term.(const run $ file $ verilog $ storage $ do_synth)
+
+(* ------------------------------------------------------------------ pctrl *)
+
+let pctrl_cmd =
+  let run () =
+    let compile ?options d = (Synth.Flow.compile ?options lib d).Synth.Flow.report in
+    let full = Pctrl.Controller.full_design () in
+    Format.printf "%s@." (Rtl.Design.stats full);
+    print_report "full" (compile full);
+    List.iter
+      (fun (name, mode) ->
+        print_report
+          (Printf.sprintf "auto %s" name)
+          (compile (Pctrl.Controller.auto_design mode));
+        print_report
+          (Printf.sprintf "manual %s" name)
+          (compile
+             ~options:{ Synth.Flow.default with honor_generator_annots = true }
+             (Pctrl.Controller.manual_design mode)))
+      [ ("cached", Pctrl.Controller.Cached);
+        ("uncached", Pctrl.Controller.Uncached) ]
+  in
+  Cmd.v
+    (Cmd.info "pctrl" ~doc:"Synthesize the PCtrl case study at every level.")
+    Term.(const run $ const ())
+
+(* ----------------------------------------------------------------- design *)
+
+let design_cmd =
+  let run file liberty dump_verilog dump_netlist aiger_out do_synth =
+    let lib =
+      match liberty with
+      | None -> lib
+      | Some path ->
+        let l = Cells.Liberty.of_file path in
+        (match Cells.Liberty.check_mappable l with
+         | Ok () -> l
+         | Error msg ->
+           Format.eprintf "%s: %s@." path msg;
+           exit 1)
+    in
+    match Rtl.Serialize.of_file file with
+    | exception Rtl.Serialize.Parse_error msg ->
+      Format.eprintf "%s: %s@." file msg;
+      exit 1
+    | design ->
+      Format.printf "%s@." (Rtl.Design.stats design);
+      if dump_verilog then print_string (Rtl.Verilog.emit design);
+      if do_synth || dump_netlist || aiger_out <> None then begin
+        let result = Synth.Flow.compile lib design in
+        print_report "mapped" result.Synth.Flow.report;
+        if dump_netlist then
+          print_string
+            (Synth.Netlist.emit lib ~name:design.Rtl.Design.name
+               result.Synth.Flow.aig);
+        Option.iter
+          (fun path -> Synth.Aiger.to_file path result.Synth.Flow.aig)
+          aiger_out
+      end
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"Design file (S-expression form).")
+  in
+  let liberty =
+    Arg.(value & opt (some file) None
+         & info [ "liberty" ] ~doc:"Cell library file (Liberty-lite dialect).")
+  in
+  let verilog = Arg.(value & flag & info [ "verilog" ] ~doc:"Dump Verilog.") in
+  let netlist =
+    Arg.(value & flag & info [ "netlist" ] ~doc:"Dump the mapped netlist.")
+  in
+  let aiger =
+    Arg.(value & opt (some string) None
+         & info [ "aiger" ] ~doc:"Write the optimized AIG in AIGER format.")
+  in
+  let do_synth = Arg.(value & flag & info [ "synth" ] ~doc:"Synthesize.") in
+  Cmd.v
+    (Cmd.info "design" ~doc:"Load a serialized design and process it.")
+    Term.(const run $ file $ liberty $ verilog $ netlist $ aiger $ do_synth)
+
+(* ------------------------------------------------------------- experiment *)
+
+let experiment_cmd =
+  let run name =
+    match name with
+    | "fig5" -> Experiments.Fig5.print (Experiments.Fig5.run ())
+    | "fig6" -> Experiments.Fig6.print (Experiments.Fig6.run ())
+    | "fig8" -> Experiments.Fig8.print (Experiments.Fig8.run ())
+    | "fig9" -> Experiments.Fig9.print (Experiments.Fig9.run ())
+    | "ablate-cone" -> Experiments.Ablation.cone_cap ()
+    | "ablate-twolevel" -> Experiments.Ablation.twolevel ()
+    | "ablate-cap" -> Experiments.Ablation.annot_cap ()
+    | other ->
+      Format.eprintf "unknown experiment %s@." other;
+      exit 2
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"NAME"
+             ~doc:"fig5, fig6, fig8, fig9, ablate-cone, ablate-twolevel or \
+                   ablate-cap.")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a paper figure or ablation.")
+    Term.(const run $ name_arg)
+
+let () =
+  let info =
+    Cmd.info "ctrlgen" ~version:"1.0.0"
+      ~doc:"Controller intermediate representations for chip generators."
+  in
+  exit (Cmd.eval (Cmd.group info [ synth_cmd; asm_cmd; design_cmd; pctrl_cmd; experiment_cmd ]))

@@ -1,0 +1,1 @@
+examples/dma_sequencer.ml: Bitvec Cells Core List Printf Rtl String Synth

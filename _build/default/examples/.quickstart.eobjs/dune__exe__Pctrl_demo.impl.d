@@ -1,0 +1,1 @@
+examples/pctrl_demo.ml: Bitvec Cells List Pctrl Printf Rtl Synth

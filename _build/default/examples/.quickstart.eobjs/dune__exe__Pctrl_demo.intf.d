@@ -1,0 +1,1 @@
+examples/pctrl_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bitvec Cells Core Printf Rtl Synth

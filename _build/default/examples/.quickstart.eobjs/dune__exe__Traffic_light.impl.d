@@ -1,0 +1,1 @@
+examples/traffic_light.ml: Array Bitvec Cells Core List Printf Rtl String Synth

@@ -1,0 +1,1 @@
+examples/ucpu_demo.ml: Bitvec Cells Core List Printf Rtl Synth Ucpu

@@ -1,0 +1,1 @@
+examples/ucpu_demo.mli:

@@ -1,0 +1,59 @@
+(* The second case study: a microcoded 8-bit CPU, after the machines the
+   paper cites as the home turf of microprogrammed control (System/360,
+   VAX 8800).
+
+   1. Assemble a Fibonacci program and run it on the golden-model
+      interpreter and on the generated RTL — same answer, ~2.5 clocks per
+      instruction.
+   2. Compare the flexible control unit (microcode in configuration
+      memories) against its partial evaluation.
+   3. Re-program the *control store* only — SUB becomes AND — and watch the
+      same silicon implement a different ISA: the paper's "facilitates
+      patches late in the design cycle".
+
+   Run with: dune exec examples/ucpu_demo.exe *)
+
+let () =
+  let n = 10 in
+  let program = Ucpu.Isa.fib_program n in
+  let golden = Ucpu.Isa.run ~program () in
+  Printf.printf "golden model:  fib(%d) = %d\n" n golden.Ucpu.Isa.acc;
+
+  let d = Ucpu.Machine.specialized ~program () in
+  let st, cycles = Ucpu.Machine.run_rtl d in
+  Printf.printf "generated RTL: fib(%d) = %d  (%d clock cycles)\n" n
+    (Bitvec.to_int (Rtl.Eval.peek st "acc"))
+    cycles;
+
+  let ctl = Ucpu.Control.program in
+  Printf.printf
+    "\ncontrol store: %d microinstructions, %d-bit words, %d live addresses\n"
+    (Core.Microcode.depth ctl)
+    (Core.Microcode.word_width ctl)
+    (List.length (Core.Microcode.reachable_addrs ctl));
+
+  let lib = Cells.Library.vt90 in
+  let report dd = (Synth.Flow.compile lib dd).Synth.Flow.report in
+  let full = report (Ucpu.Machine.full ~program) in
+  let spec = report d in
+  Printf.printf "area, flexible control:    %8.1f um^2 (%d config bits)\n"
+    (Synth.Map.total full) full.Synth.Map.config_bits;
+  Printf.printf "area, specialized control: %8.1f um^2\n" (Synth.Map.total spec);
+
+  (* The late patch: identical hardware, new microcode, new ISA. *)
+  let probe =
+    Ucpu.Isa.assemble
+      [ Ucpu.Isa.Ldi 12; Ucpu.Isa.Sta 1; Ucpu.Isa.Ldi 10; Ucpu.Isa.Sub 1;
+        Ucpu.Isa.Hlt ]
+  in
+  let run ?patched () =
+    let st, _ =
+      Ucpu.Machine.run_rtl (Ucpu.Machine.specialized ?patched ~program:probe ())
+    in
+    Bitvec.to_int (Rtl.Eval.peek st "acc")
+  in
+  Printf.printf "\nmicrocode patch demo on `LDI 10; SUB 12`:\n";
+  Printf.printf "  original control store:  acc = %d   (10 - 12 mod 256)\n"
+    (run ());
+  Printf.printf "  patched control store:   acc = %d     (10 AND 12)\n"
+    (run ~patched:true ())

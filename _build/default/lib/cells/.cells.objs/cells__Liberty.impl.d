@@ -1,0 +1,1 @@
+lib/cells/liberty.ml: Buffer Cell Char Format Fun In_channel Library List Printf Rtl String

@@ -1,0 +1,1 @@
+lib/cells/liberty.mli: Library

@@ -1,0 +1,35 @@
+(** A miniature Liberty-style cell-library reader.
+
+    Real flows take the cell library as data (a [.lib] file), not code;
+    this reader accepts a small declarative dialect so users can swap the
+    synthesis library without recompiling:
+
+    {v
+    library (my90) {
+      cell (NAND2) { function : "!(A*B)"; area : 3.76; delay : 0.030; }
+      cell (DFF)   { flop : none;  area : 20.68; delay : 0.150; }
+      cell (SDFF)  { flop : sync;  area : 23.50; delay : 0.160; }
+      cell (ADFF)  { flop : async; area : 26.32; delay : 0.170; }
+    }
+    v}
+
+    Combinational functions use [!], [*], [+], [^] and parentheses over
+    input pins named [A], [B], [C], [D] (pin order = alphabetical); the
+    truth table is derived by evaluation. The mapper requires at least INV,
+    NAND2/AND2, NOR2/OR2, XOR2/XNOR2, MUX2 and the three flop kinds; use
+    {!check_mappable} before handing a parsed library to the flow. *)
+
+exception Parse_error of int * string
+
+val parse : string -> Library.t
+(** @raise Parse_error with a line number on malformed input. *)
+
+val of_file : string -> Library.t
+
+val print : Library.t -> string
+(** Render a library back to the dialect ([parse (print l)] gives an
+    equivalent library). *)
+
+val check_mappable : Library.t -> (unit, string) result
+(** Does the library contain every cell name the technology mapper can
+    emit? *)

@@ -1,0 +1,1 @@
+lib/core/ctrl_spec.ml: Array Format Hashtbl List Microcode Option

@@ -1,0 +1,1 @@
+lib/core/ctrl_spec.mli: Microcode

@@ -1,0 +1,1 @@
+lib/core/fsm_ir.ml: Array Bitvec Fun Hashtbl List Rtl

@@ -1,0 +1,1 @@
+lib/core/fsm_ir.mli: Bitvec Rtl

@@ -1,0 +1,1 @@
+lib/core/generator.ml: Bitvec Fsm_ir List Microcode Rtl Synth Truth_table

@@ -1,0 +1,1 @@
+lib/core/generator.mli: Bitvec Fsm_ir Microcode Rtl Truth_table

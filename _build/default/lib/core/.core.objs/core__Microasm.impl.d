@@ -1,0 +1,1 @@
+lib/core/microasm.ml: Array Buffer Format Hashtbl List Microcode Printf String

@@ -1,0 +1,1 @@
+lib/core/microasm.mli: Microcode

@@ -1,0 +1,1 @@
+lib/core/microcode.ml: Array Bitvec Fun Hashtbl List Option Printf Rtl Stdlib

@@ -1,0 +1,1 @@
+lib/core/microcode.mli: Bitvec Rtl

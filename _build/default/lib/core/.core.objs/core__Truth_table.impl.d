@@ -1,0 +1,1 @@
+lib/core/truth_table.ml: Array Bitvec Fun List Rtl

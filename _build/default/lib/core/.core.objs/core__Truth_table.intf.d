@@ -1,0 +1,1 @@
+lib/core/truth_table.mli: Bitvec Rtl

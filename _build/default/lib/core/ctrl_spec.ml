@@ -1,0 +1,111 @@
+type action = (string * int) list
+
+type t =
+  | Emit of action
+  | Seq of t list
+  | Repeat of int * t
+  | Done
+
+type spec = {
+  name : string;
+  fields : Microcode.field list;
+  opcode_bits : int;
+  handlers : (int * t) list;
+}
+
+exception Compile_error of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Compile_error m)) fmt
+
+let rec instruction_count = function
+  | Emit _ -> 1
+  | Seq ts -> List.fold_left (fun acc t -> acc + instruction_count t) 0 ts
+  | Repeat (n, body) -> n * instruction_count body
+  | Done -> 1
+
+let check_action spec action =
+  List.iter
+    (fun (fname, v) ->
+      match List.find_opt (fun (f : Microcode.field) -> f.fname = fname) spec.fields with
+      | None -> fail "unknown field %s" fname
+      | Some f ->
+        if v < 0 || v lsr f.fwidth <> 0 then
+          fail "value %d out of range for field %s" v fname)
+    action
+
+(* The program shape: address 0 is the dispatch point; each distinct handler
+   body follows. Handlers ending without [Done] fall back to the dispatch
+   point with an explicit jump. *)
+let compile spec =
+  if spec.opcode_bits < 1 then fail "opcode_bits must be positive";
+  List.iter
+    (fun (op, _) ->
+      if op < 0 || op lsr spec.opcode_bits <> 0 then
+        fail "opcode %d out of range" op)
+    spec.handlers;
+  let code = ref [] in
+  let next_addr = ref 1 in
+  let emit u =
+    code := u :: !code;
+    incr next_addr
+  in
+  let rec lower t =
+    match t with
+    | Emit action ->
+      check_action spec action;
+      [ { Microcode.ctl = action; seq = Microcode.Next } ]
+    | Seq ts -> List.concat_map lower ts
+    | Repeat (n, body) ->
+      if n < 0 then fail "negative repetition";
+      List.concat (List.init n (fun _ -> lower body))
+    | Done -> [ { Microcode.ctl = []; seq = Microcode.Jump 0 } ]
+  in
+  (* A trailing bare jump folds into the preceding microinstruction. *)
+  let peephole uops =
+    match List.rev uops with
+    | { Microcode.ctl = []; seq = Microcode.Jump 0 }
+      :: ({ Microcode.seq = Microcode.Next; _ } as prev) :: rest ->
+      List.rev ({ prev with Microcode.seq = Microcode.Jump 0 } :: rest)
+    | _ -> uops
+  in
+  let rec ends_with_done = function
+    | Done -> true
+    | Emit _ -> false
+    | Repeat (n, body) -> n > 0 && ends_with_done body
+    | Seq ts ->
+      (match List.rev ts with
+       | [] -> false
+       | last :: _ -> ends_with_done last)
+  in
+  (* Deduplicate structurally identical handler bodies. *)
+  let body_addr : (t, int) Hashtbl.t = Hashtbl.create 8 in
+  let handler_entries =
+    List.map
+      (fun (op, body) ->
+        match Hashtbl.find_opt body_addr body with
+        | Some a -> (op, a)
+        | None ->
+          let a = !next_addr in
+          Hashtbl.replace body_addr body a;
+          let uops = lower body in
+          let uops =
+            if ends_with_done body then uops
+            else uops @ [ { Microcode.ctl = []; seq = Microcode.Jump 0 } ]
+          in
+          let uops = peephole uops in
+          if uops = [] then fail "empty handler body";
+          List.iter emit uops;
+          (op, a))
+      spec.handlers
+  in
+  let dispatch_targets =
+    Array.init (1 lsl spec.opcode_bits) (fun op ->
+        Option.value ~default:0 (List.assoc_opt op handler_entries))
+  in
+  let program_code =
+    Array.of_list
+      ({ Microcode.ctl = []; seq = Microcode.Dispatch 0 } :: List.rev !code)
+  in
+  Microcode.make ~name:spec.name ~format:spec.fields
+    ~dispatch:[ ("ops", dispatch_targets) ]
+    ~opcode_bits:spec.opcode_bits ~entry:0 program_code

@@ -1,0 +1,48 @@
+(** A higher-level controller specification language, compiled to microcode.
+
+    The paper closes by asking what the *input* to the generator should be:
+    "it may be possible to build a compiler that uses higher-level
+    specifications to produce microcode for a given controller". This module
+    is that compiler: a small structured control language — actions,
+    sequencing, bounded repetition, opcode dispatch and field-condition
+    branches — lowered to a {!Microcode.program} for the standard sequencer.
+
+    Semantics:
+    - {!const-Emit} issues one microinstruction with the given field values;
+    - {!const-Seq} runs blocks back to back;
+    - {!const-Repeat} unrolls its body a constant number of times (the
+      microcode idiom for line-size-dependent timing: the repetition count
+      typically comes from a generator parameter such as beats-per-line);
+    - {!const-If_op} branches on the external opcode through the dispatch
+      table (so it may only appear as the program's outermost form);
+    - {!const-Loop} jumps back to the top-level dispatch point.
+
+    The compiler performs label layout, emits one dispatch table, and
+    reuses duplicate opcode bodies. *)
+
+type action = (string * int) list
+(** Field assignments; unassigned fields are zero. *)
+
+type t =
+  | Emit of action
+  | Seq of t list
+  | Repeat of int * t
+  | Done
+      (** return to the dispatch point (compiled as a jump to the entry) *)
+
+type spec = {
+  name : string;
+  fields : Microcode.field list;
+  opcode_bits : int;
+  handlers : (int * t) list;
+      (** opcode value → behaviour; unlisted opcodes idle *)
+}
+
+exception Compile_error of string
+
+val compile : spec -> Microcode.program
+(** @raise Compile_error on unknown fields, out-of-range values or
+    out-of-range opcodes. *)
+
+val instruction_count : t -> int
+(** Microinstructions the behaviour expands to (after unrolling). *)

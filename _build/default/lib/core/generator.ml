@@ -1,0 +1,39 @@
+type style =
+  | Flexible
+  | Flexible_annotated
+  | Direct
+
+let table_design tt = function
+  | Flexible | Flexible_annotated -> Truth_table.to_flexible_rtl tt
+  | Direct -> Truth_table.to_sop_rtl tt
+
+let fsm_design fsm = function
+  | Flexible -> Fsm_ir.to_flexible_rtl ~annotate:false fsm
+  | Flexible_annotated -> Fsm_ir.to_flexible_rtl ~annotate:true fsm
+  | Direct -> Fsm_ir.to_direct_rtl fsm
+
+let sequencer_design ?(registered_outputs = false) p = function
+  | Flexible -> Microcode.to_rtl ~registered_outputs ~storage:`Config p
+  | Flexible_annotated ->
+    Microcode.to_rtl ~registered_outputs ~annotate:true ~storage:`Config p
+  | Direct -> Microcode.to_rtl ~registered_outputs ~storage:`Rom p
+
+let specialize = Synth.Partial_eval.bind_tables
+
+let fsm_manual_annotation fsm =
+  Rtl.Annot.fsm_state_vector "state" (Fsm_ir.reachable_codes fsm)
+
+let program_manual_annotations (p : Microcode.program) =
+  let upc =
+    Rtl.Annot.value_set "upc"
+      (List.map
+         (Bitvec.of_int ~width:(Microcode.upc_bits p))
+         (Microcode.reachable_addrs p))
+  in
+  let field (f : Microcode.field) =
+    Rtl.Annot.value_set (f.fname ^ "_r")
+      (List.map
+         (Bitvec.of_int ~width:f.fwidth)
+         (Microcode.field_value_set p f.fname))
+  in
+  upc :: List.map field p.format

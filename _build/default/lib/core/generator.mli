@@ -1,0 +1,39 @@
+(** The chip-generator façade.
+
+    Ties the controller IRs to the synthesis flow the way the paper
+    envisions a generator working:
+
+    + pick a controller IR (truth table / FSM / microprogram);
+    + emit either the *flexible* table-based RTL (configuration memories,
+      optionally with the generator's knowledge attached as annotations) or
+      the *direct* RTL;
+    + when the configuration is known, {!specialize} the flexible design
+      (partial evaluation — tables become ROMs) and let the synthesis flow
+      fold it;
+    + for *Manual*-grade results, add {!val-fsm_manual_annotation} /
+      {!val-program_manual_annotations} — the reachability facts a tool
+      cannot currently derive across flop boundaries. *)
+
+type style =
+  | Flexible            (** configuration memories, no annotations *)
+  | Flexible_annotated  (** + generator-emitted state/value-set annotations *)
+  | Direct              (** hand-written style (SOP / case statements) *)
+
+val table_design : Truth_table.t -> style -> Rtl.Design.t
+val fsm_design : Fsm_ir.t -> style -> Rtl.Design.t
+
+val sequencer_design :
+  ?registered_outputs:bool -> Microcode.program -> style -> Rtl.Design.t
+(** [Direct] for a microprogram means the ROM-bound structure (the paper
+    treats the specialized sequencer as the direct form). *)
+
+val specialize : Rtl.Design.t -> (string * Bitvec.t array) list -> Rtl.Design.t
+(** Partial evaluation entry point: bind configuration memories. *)
+
+val fsm_manual_annotation : Fsm_ir.t -> Rtl.Annot.t
+(** State vector restricted to *reachable* states — what the paper's manual
+    optimization exploited. *)
+
+val program_manual_annotations : Microcode.program -> Rtl.Annot.t list
+(** Reachable-microaddress set for the µPC plus value sets for every control
+    field register (requires the registered-outputs sequencer). *)

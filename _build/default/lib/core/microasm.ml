@@ -1,0 +1,181 @@
+exception Parse_error of int * string
+
+let fail line fmt = Format.kasprintf (fun m -> raise (Parse_error (line, m))) fmt
+
+let tokenize line_text =
+  String.split_on_char ' ' line_text
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let parse_int lineno s =
+  match int_of_string_opt s with
+  | Some v when v >= 0 -> v
+  | Some _ -> fail lineno "negative value %s" s
+  | None -> fail lineno "bad number %s" s
+
+(* Pre-resolution instruction. *)
+type raw_seq = Rnext | Rjump of string | Rdispatch of string
+
+type raw_uop = { rctl : (string * int) list; rseq : raw_seq; rline : int }
+
+let parse source =
+  let lines = String.split_on_char '\n' source in
+  let name = ref "prog" in
+  let opcode_bits = ref 1 in
+  let entry_label = ref None in
+  let fields = ref [] in
+  let raw_dispatch = ref [] in
+  let labels : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let uops = ref [] in
+  let strip_comment s =
+    match String.index_opt s '#' with
+    | Some i -> String.sub s 0 i
+    | None -> s
+  in
+  let add_label lineno l =
+    if Hashtbl.mem labels l then fail lineno "duplicate label %s" l;
+    Hashtbl.replace labels l (List.length !uops)
+  in
+  let parse_instruction lineno tokens =
+    let rec split_at_semi acc = function
+      | [] -> (List.rev acc, [])
+      | ";" :: rest -> (List.rev acc, rest)
+      | tok :: rest -> split_at_semi (tok :: acc) rest
+    in
+    let ctl_toks, seq_toks = split_at_semi [] tokens in
+    let parse_assign tok =
+      match String.index_opt tok '=' with
+      | None -> fail lineno "expected FIELD=VALUE, got %s" tok
+      | Some i ->
+        let f = String.sub tok 0 i in
+        let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+        if not (List.exists (fun (fd : Microcode.field) -> fd.fname = f) !fields)
+        then fail lineno "unknown field %s" f;
+        (f, parse_int lineno v)
+    in
+    let rctl = List.map parse_assign ctl_toks in
+    let rseq =
+      match seq_toks with
+      | [] | [ "next" ] -> Rnext
+      | [ "jump"; l ] -> Rjump l
+      | [ "dispatch"; t ] -> Rdispatch t
+      | toks -> fail lineno "bad sequencing: %s" (String.concat " " toks)
+    in
+    uops := { rctl; rseq; rline = lineno } :: !uops
+  in
+  List.iteri
+    (fun i raw_line ->
+      let lineno = i + 1 in
+      let text = String.trim (strip_comment raw_line) in
+      if text <> "" then begin
+        match tokenize text with
+        | [] -> ()
+        | ".name" :: rest ->
+          (match rest with
+           | [ n ] -> name := n
+           | _ -> fail lineno ".name expects one argument")
+        | ".opcode_bits" :: rest ->
+          (match rest with
+           | [ v ] -> opcode_bits := parse_int lineno v
+           | _ -> fail lineno ".opcode_bits expects one argument")
+        | ".entry" :: rest ->
+          (match rest with
+           | [ l ] -> entry_label := Some l
+           | _ -> fail lineno ".entry expects one label")
+        | ".field" :: rest ->
+          (match rest with
+           | [ fname; w ] ->
+             fields := !fields
+                       @ [ { Microcode.fname; fwidth = parse_int lineno w;
+                             onehot = false } ]
+           | [ fname; w; "onehot" ] ->
+             fields := !fields
+                       @ [ { Microcode.fname; fwidth = parse_int lineno w;
+                             onehot = true } ]
+           | _ -> fail lineno ".field expects NAME WIDTH [onehot]")
+        | ".dispatch" :: tname :: targets ->
+          if targets = [] then fail lineno ".dispatch needs at least one target";
+          raw_dispatch := !raw_dispatch @ [ (tname, targets, lineno) ]
+        | first :: rest when String.length first > 1
+                             && first.[String.length first - 1] = ':' ->
+          add_label lineno (String.sub first 0 (String.length first - 1));
+          if rest <> [] then parse_instruction lineno rest
+        | tokens -> parse_instruction lineno tokens
+      end)
+    lines;
+  let uops = Array.of_list (List.rev !uops) in
+  if Array.length uops = 0 then fail 0 "no instructions";
+  let resolve lineno l =
+    match Hashtbl.find_opt labels l with
+    | Some a -> a
+    | None -> fail lineno "undefined label %s" l
+  in
+  let dispatch_names = List.map (fun (t, _, _) -> t) !raw_dispatch in
+  let code =
+    Array.map
+      (fun r ->
+        let seq =
+          match r.rseq with
+          | Rnext -> Microcode.Next
+          | Rjump l -> Microcode.Jump (resolve r.rline l)
+          | Rdispatch t ->
+            (match List.find_index (String.equal t) dispatch_names with
+             | Some i -> Microcode.Dispatch i
+             | None -> fail r.rline "undefined dispatch table %s" t)
+        in
+        { Microcode.ctl = r.rctl; seq })
+      uops
+  in
+  let dispatch =
+    List.map
+      (fun (tname, targets, lineno) ->
+        let slots = 1 lsl !opcode_bits in
+        if List.length targets > slots then
+          fail lineno "dispatch table %s has more than %d targets" tname slots;
+        let resolved = List.map (resolve lineno) targets in
+        let last = List.nth resolved (List.length resolved - 1) in
+        let arr =
+          Array.init slots (fun i ->
+              match List.nth_opt resolved i with
+              | Some a -> a
+              | None -> last)
+        in
+        (tname, arr))
+      !raw_dispatch
+  in
+  let entry =
+    match !entry_label with
+    | None -> 0
+    | Some l -> resolve 0 l
+  in
+  Microcode.make ~name:!name ~format:!fields ~dispatch
+    ~opcode_bits:!opcode_bits ~entry code
+
+let print (p : Microcode.program) =
+  let buf = Buffer.create 256 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out ".name %s\n.opcode_bits %d\n" p.pname p.opcode_bits;
+  if p.entry <> 0 then out ".entry l%d\n" p.entry;
+  List.iter
+    (fun (f : Microcode.field) ->
+      out ".field %s %d%s\n" f.fname f.fwidth (if f.onehot then " onehot" else ""))
+    p.format;
+  List.iter
+    (fun (tname, targets) ->
+      out ".dispatch %s" tname;
+      Array.iter (fun a -> out " l%d" a) targets;
+      out "\n")
+    p.dispatch;
+  Array.iteri
+    (fun a (u : Microcode.uop) ->
+      out "l%d:\n " a;
+      List.iter (fun (f, v) -> out " %s=%d" f v) u.ctl;
+      (match u.seq with
+       | Microcode.Next -> out " ; next"
+       | Microcode.Jump t -> out " ; jump l%d" t
+       | Microcode.Dispatch i ->
+         let tname, _ = List.nth p.dispatch i in
+         out " ; dispatch %s" tname);
+      out "\n")
+    p.code;
+  Buffer.contents buf

@@ -1,0 +1,42 @@
+(** A tiny textual micro-assembler.
+
+    The paper's conclusion is that a generator "only needs to produce the
+    table of bits", letting design flows keep their existing
+    microprogramming tools — this module is that tool. Example source:
+
+    {v
+    # DMA line-copy engine
+    .name dma
+    .opcode_bits 2
+    .field cmd 3
+    .field pipe_sel 4 onehot
+    .dispatch optable idle copy fill idle
+
+    idle:
+      ; dispatch optable
+    copy:
+      cmd=1 pipe_sel=0b0001 ; next
+      cmd=2 pipe_sel=0b0010 ; jump idle
+    fill:
+      cmd=3 ; jump idle
+    v}
+
+    Grammar, line by line (['#'] starts a comment):
+    - [.name IDENT], [.opcode_bits INT], [.entry LABEL] — header directives;
+    - [.field NAME WIDTH [onehot]] — a control field;
+    - [.dispatch NAME LABEL...] — a dispatch table; missing opcode slots
+      repeat the last label;
+    - [LABEL:] — attaches to the next instruction;
+    - [FIELD=VALUE ... ; SEQ] — one microinstruction, where [SEQ] is
+      [next], [jump LABEL] or [dispatch TABLE]; the [; SEQ] part defaults
+      to [next]; values accept decimal, [0x...] and [0b...]. *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val parse : string -> Microcode.program
+(** @raise Parse_error on malformed source. *)
+
+val print : Microcode.program -> string
+(** Render a program back to assembler source (labels are synthesized as
+    [l<addr>]); [parse (print p)] is equivalent to [p] up to label names. *)

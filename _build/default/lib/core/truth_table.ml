@@ -1,0 +1,76 @@
+type t = {
+  name : string;
+  width : int;
+  entries : Bitvec.t array;
+}
+
+let make ~name ~width entries =
+  if Array.length entries = 0 then invalid_arg "Truth_table.make: empty";
+  Array.iter
+    (fun v ->
+      if Bitvec.width v <> width then
+        invalid_arg "Truth_table.make: entry width mismatch")
+    entries;
+  { name; width; entries }
+
+let of_fun ~name ~width ~depth f =
+  make ~name ~width (Array.init depth f)
+
+let depth t = Array.length t.entries
+
+let addr_bits t =
+  let rec bits n acc = if n <= 1 then max acc 1 else bits ((n + 1) / 2) (acc + 1) in
+  bits (depth t) 0
+
+let eval t a =
+  if a < 0 then invalid_arg "Truth_table.eval: negative address";
+  if a < depth t then t.entries.(a) else Bitvec.zero t.width
+
+let table_name t = t.name ^ "_mem"
+
+let config_binding t = (table_name t, t.entries)
+
+let base_design t ~storage =
+  let b = Rtl.Builder.create t.name in
+  let addr = Rtl.Builder.input b "addr" (addr_bits t) in
+  (match storage with
+   | `Config ->
+     Rtl.Builder.config_table b (table_name t) ~width:t.width ~depth:(depth t)
+   | `Rom -> Rtl.Builder.rom b (table_name t) ~width:t.width t.entries);
+  Rtl.Builder.output b "data" (Rtl.Builder.read_table b (table_name t) addr);
+  Rtl.Builder.finish b
+
+let to_flexible_rtl t = base_design t ~storage:`Config
+let to_rom_rtl t = base_design t ~storage:`Rom
+
+let to_sop_rtl t =
+  let b = Rtl.Builder.create (t.name ^ "_sop") in
+  let k = addr_bits t in
+  let addr = Rtl.Builder.input b "addr" k in
+  (* Canonical SOP per output bit: OR of full minterms of the ON-set. *)
+  let minterm a =
+    let literal i =
+      let bit = Rtl.Expr.bit addr i in
+      if a lsr i land 1 = 1 then bit else Rtl.Expr.not_ bit
+    in
+    List.fold_left
+      (fun acc i -> Rtl.Expr.and_ acc (literal i))
+      (literal 0)
+      (List.init (k - 1) (fun i -> i + 1))
+  in
+  let out_bit j =
+    let ons =
+      List.filter
+        (fun a -> a < depth t && Bitvec.get t.entries.(a) j)
+        (List.init (1 lsl k) Fun.id)
+    in
+    match ons with
+    | [] -> Rtl.Expr.of_int ~width:1 0
+    | first :: rest ->
+      List.fold_left
+        (fun acc a -> Rtl.Expr.or_ acc (minterm a))
+        (minterm first) rest
+  in
+  let bits = List.init t.width out_bit in
+  Rtl.Builder.output b "data" (Rtl.Expr.concat (List.rev bits));
+  Rtl.Builder.finish b

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Core Exp_common Hashtbl List Onehot_design Pctrl Printf Report Rtl Synth Sys Twolevel Workload

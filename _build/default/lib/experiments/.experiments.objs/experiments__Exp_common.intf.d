@@ -1,0 +1,1 @@
+lib/experiments/exp_common.mli: Cells Format Rtl Synth

@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Core Exp_common List Report Synth Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Exp_common List Onehot_design Report

@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Exp_common List Pctrl Report Synth

@@ -1,0 +1,1 @@
+lib/experiments/onehot_design.mli: Rtl

@@ -1,0 +1,22 @@
+let lib = Cells.Library.vt90
+
+let default_flow = Synth.Flow.default
+
+let annotated_flow = { Synth.Flow.default with honor_generator_annots = true }
+
+let retimed_flow = { Synth.Flow.default with retime = true }
+
+let compile_report ?options d =
+  (Synth.Flow.compile ?options lib d).Synth.Flow.report
+
+let compile_area ?options d = Synth.Map.total (compile_report ?options d)
+
+let geomean = function
+  | [] -> 1.0
+  | xs ->
+    exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs
+         /. float_of_int (List.length xs))
+
+let out = ref Format.std_formatter
+
+let printf fmt = Format.fprintf !out fmt

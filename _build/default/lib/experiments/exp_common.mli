@@ -1,0 +1,23 @@
+(** Shared helpers for the paper-figure experiments. *)
+
+val lib : Cells.Library.t
+
+val default_flow : Synth.Flow.options
+val annotated_flow : Synth.Flow.options
+(** Default plus [honor_generator_annots = true] — the paper's manual
+    state-annotation runs. *)
+
+val retimed_flow : Synth.Flow.options
+
+val compile_area : ?options:Synth.Flow.options -> Rtl.Design.t -> float
+(** Total mapped area of the optimized design. *)
+
+val compile_report : ?options:Synth.Flow.options -> Rtl.Design.t -> Synth.Map.report
+
+val geomean : float list -> float
+(** Geometric mean; 1.0 on the empty list. *)
+
+val out : Format.formatter ref
+(** Where experiment printers write (defaults to stdout). *)
+
+val printf : ('a, Format.formatter, unit) format -> 'a

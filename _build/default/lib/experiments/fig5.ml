@@ -1,0 +1,63 @@
+type row = {
+  depth : int;
+  width : int;
+  seed : int;
+  table_area : float;
+  sop_area : float;
+}
+
+let quick_grid =
+  [ (2, 2); (8, 4); (16, 4); (32, 16); (64, 16); (256, 4); (1024, 2) ]
+
+let run ?(seeds = [ 0; 1; 2 ]) ?(grid = Workload.Rand_table.paper_grid) () =
+  let point (depth, width) seed =
+    let tt = Workload.Rand_table.generate ~seed ~depth ~width in
+    let flexible =
+      Synth.Partial_eval.bind_tables
+        (Core.Truth_table.to_flexible_rtl tt)
+        [ Core.Truth_table.config_binding tt ]
+    in
+    let direct = Core.Truth_table.to_sop_rtl tt in
+    {
+      depth;
+      width;
+      seed;
+      table_area = Exp_common.compile_area flexible;
+      sop_area = Exp_common.compile_area direct;
+    }
+  in
+  List.concat_map (fun cell -> List.map (point cell) seeds) grid
+
+let print rows =
+  let body =
+    List.map
+      (fun r ->
+        [
+          string_of_int r.depth;
+          string_of_int r.width;
+          string_of_int r.seed;
+          Report.Table.fmt_area r.table_area;
+          Report.Table.fmt_area r.sop_area;
+          Report.Table.fmt_ratio (r.table_area /. r.sop_area);
+        ])
+      rows
+  in
+  Exp_common.printf
+    "== Fig. 5: combinational tables, partially evaluated vs direct SOP ==@.%s@."
+    (Report.Table.render
+       ~header:[ "depth"; "width"; "seed"; "table um^2"; "sop um^2"; "ratio" ]
+       body);
+  let ratios =
+    List.filter_map
+      (fun r ->
+        if r.sop_area > 0.5 then Some (r.table_area /. r.sop_area) else None)
+      rows
+  in
+  let table_wins = List.length (List.filter (fun x -> x < 1.0) ratios) in
+  Exp_common.printf
+    "points: %d  geomean(table/sop): %.3f  min %.2f  max %.2f  table-better: %d@.@."
+    (List.length rows)
+    (Exp_common.geomean ratios)
+    (List.fold_left min infinity ratios)
+    (List.fold_left max 0.0 ratios)
+    table_wins

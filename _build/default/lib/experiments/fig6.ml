@@ -1,0 +1,72 @@
+type row = {
+  m : int;
+  n : int;
+  s : int;
+  seed : int;
+  direct_area : float;
+  regular_area : float;
+  annotated_area : float;
+}
+
+let quick_grid = [ (2, 2, 2); (2, 8, 3); (2, 16, 17); (8, 8, 8); (8, 2, 17) ]
+
+let run ?(seeds = [ 0; 1; 2 ]) ?(grid = Workload.Rand_fsm.paper_grid) () =
+  let point (m, n, s) seed =
+    let fsm =
+      Workload.Rand_fsm.generate ~seed ~num_inputs:m ~num_outputs:n ~num_states:s
+    in
+    let bind d = Synth.Partial_eval.bind_tables d (Core.Fsm_ir.config_bindings fsm) in
+    let direct = Core.Fsm_ir.to_direct_rtl fsm in
+    let regular = bind (Core.Fsm_ir.to_flexible_rtl ~annotate:false fsm) in
+    let annotated = bind (Core.Fsm_ir.to_flexible_rtl ~annotate:true fsm) in
+    {
+      m;
+      n;
+      s;
+      seed;
+      direct_area = Exp_common.compile_area direct;
+      regular_area = Exp_common.compile_area regular;
+      annotated_area =
+        Exp_common.compile_area ~options:Exp_common.annotated_flow annotated;
+    }
+  in
+  List.concat_map (fun cell -> List.map (point cell) seeds) grid
+
+let print rows =
+  let body =
+    List.map
+      (fun r ->
+        [
+          string_of_int r.m;
+          string_of_int r.n;
+          string_of_int r.s;
+          string_of_int r.seed;
+          Report.Table.fmt_area r.direct_area;
+          Report.Table.fmt_area r.regular_area;
+          Report.Table.fmt_area r.annotated_area;
+          Report.Table.fmt_ratio (r.regular_area /. r.direct_area);
+          Report.Table.fmt_ratio (r.annotated_area /. r.direct_area);
+        ])
+      rows
+  in
+  Exp_common.printf
+    "== Fig. 6: FSMs, flexible tables vs direct case style ==@.%s@."
+    (Report.Table.render
+       ~header:
+         [ "m"; "n"; "s"; "seed"; "direct"; "regular"; "annotated";
+           "reg/dir"; "ann/dir" ]
+       body);
+  (* Degenerate controllers (everything folds to constants) have no
+     meaningful ratio. *)
+  let rows = List.filter (fun r -> r.direct_area > 0.5) rows in
+  let ratios f = List.map f rows in
+  let odd = List.filter (fun r -> r.s = 3 || r.s = 17) rows in
+  let even = List.filter (fun r -> not (r.s = 3 || r.s = 17)) rows in
+  let gm sel l = Exp_common.geomean (List.map sel l) in
+  Exp_common.printf
+    "geomean regular/direct: %.3f (s in {3,17}: %.3f; others: %.3f)@."
+    (Exp_common.geomean (ratios (fun r -> r.regular_area /. r.direct_area)))
+    (gm (fun r -> r.regular_area /. r.direct_area) odd)
+    (gm (fun r -> r.regular_area /. r.direct_area) even);
+  Exp_common.printf "geomean annotated/direct: %.3f@.@."
+    (Exp_common.geomean (ratios (fun r -> r.annotated_area /. r.direct_area)))

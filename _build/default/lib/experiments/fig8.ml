@@ -1,0 +1,88 @@
+type variant = Regular | Retimed | Annotated
+
+type row = {
+  n : int;
+  style_name : string;
+  variant : variant;
+  generic_area : float;
+  direct_area : float;
+}
+
+let variant_name = function
+  | Regular -> "regular"
+  | Retimed -> "retimed"
+  | Annotated -> "annotated"
+
+let flow_of = function
+  | Regular -> Exp_common.default_flow
+  | Retimed -> Exp_common.retimed_flow
+  | Annotated -> Exp_common.annotated_flow
+
+let run ?(widths = Onehot_design.paper_widths)
+    ?(styles = Onehot_design.all_styles) () =
+  let point n (style_name, style) variant =
+    let generic = Onehot_design.generic ~n ~style in
+    let direct = Onehot_design.direct ~n ~style in
+    let options = flow_of variant in
+    {
+      n;
+      style_name;
+      variant;
+      generic_area = Exp_common.compile_area ~options generic;
+      direct_area = Exp_common.compile_area ~options direct;
+    }
+  in
+  List.concat_map
+    (fun n ->
+      List.concat_map
+        (fun style ->
+          List.map (point n style) [ Regular; Retimed; Annotated ])
+        styles)
+    widths
+
+let print rows =
+  let body =
+    List.map
+      (fun r ->
+        [
+          string_of_int r.n;
+          r.style_name;
+          variant_name r.variant;
+          Report.Table.fmt_area r.generic_area;
+          Report.Table.fmt_area r.direct_area;
+          Report.Table.fmt_ratio (r.generic_area /. r.direct_area);
+        ])
+      rows
+  in
+  Exp_common.printf
+    "== Fig. 8: one-hot bus behind a flop — generic vs direct ==@.%s@."
+    (Report.Table.render
+       ~align:
+         [ Report.Table.Right; Report.Table.Left; Report.Table.Left;
+           Report.Table.Right; Report.Table.Right; Report.Table.Right ]
+       ~header:[ "n"; "flop"; "variant"; "generic"; "direct"; "ratio" ]
+       body);
+  let ideal r = r.generic_area <= r.direct_area *. 1.02 +. 1.0 in
+  let classify pred label =
+    let sub = List.filter pred rows in
+    let good = List.length (List.filter ideal sub) in
+    Exp_common.printf "%-32s %d/%d ideal@." label good (List.length sub)
+  in
+  classify (fun r -> r.style_name = "comb") "combinational (any variant):";
+  classify
+    (fun r -> r.style_name <> "comb" && r.variant = Regular)
+    "flopped, regular:";
+  classify
+    (fun r -> r.style_name = "noreset" && r.variant = Retimed)
+    "flopped no-reset, retimed:";
+  classify
+    (fun r ->
+      (r.style_name = "sync" || r.style_name = "async") && r.variant = Retimed)
+    "flopped with reset, retimed:";
+  classify
+    (fun r -> r.style_name <> "comb" && r.variant = Annotated && r.n <= 32)
+    "flopped, annotated, n<=32:";
+  classify
+    (fun r -> r.style_name <> "comb" && r.variant = Annotated && r.n > 32)
+    "flopped, annotated, n>32:";
+  Exp_common.printf "@."

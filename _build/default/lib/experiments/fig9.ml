@@ -1,0 +1,83 @@
+type level = Full | Auto | Manual
+
+type row = {
+  mode : Pctrl.Controller.mode;
+  level : level;
+  comb : float;
+  seq : float;
+  power : float;
+}
+
+let level_name = function Full -> "full" | Auto -> "auto" | Manual -> "manual"
+
+let mode_name = function
+  | Pctrl.Controller.Cached -> "cached"
+  | Pctrl.Controller.Uncached -> "uncached"
+
+let run () =
+  let compile ?options d = Synth.Flow.compile ?options Exp_common.lib d in
+  let full = compile (Pctrl.Controller.full_design ()) in
+  let point mode level =
+    let result =
+      match level with
+      | Full -> full
+      | Auto -> compile (Pctrl.Controller.auto_design mode)
+      | Manual ->
+        compile ~options:Exp_common.annotated_flow
+          (Pctrl.Controller.manual_design mode)
+    in
+    let report = result.Synth.Flow.report in
+    (* The flexible design must be *programmed* before its activity means
+       anything: load the mode's microcode into the configuration bits. *)
+    let config =
+      match level with
+      | Full -> Pctrl.Controller.bindings mode
+      | Auto | Manual -> []
+    in
+    let power =
+      Synth.Power.total
+        (Synth.Power.estimate ~cycles:128 ~config Exp_common.lib
+           result.Synth.Flow.aig)
+    in
+    { mode; level; comb = report.Synth.Map.comb_area;
+      seq = report.Synth.Map.seq_area; power }
+  in
+  List.concat_map
+    (fun mode -> List.map (point mode) [ Full; Auto; Manual ])
+    [ Pctrl.Controller.Cached; Pctrl.Controller.Uncached ]
+
+let print rows =
+  let body =
+    List.map
+      (fun r ->
+        [
+          mode_name r.mode;
+          level_name r.level;
+          Report.Table.fmt_area r.comb;
+          Report.Table.fmt_area r.seq;
+          Report.Table.fmt_area (r.comb +. r.seq);
+          Report.Table.fmt_area r.power;
+        ])
+      rows
+  in
+  Exp_common.printf "== Fig. 9: PCtrl area by optimization level ==@.%s@."
+    (Report.Table.render
+       ~align:
+         [ Report.Table.Left; Report.Table.Left; Report.Table.Right;
+           Report.Table.Right; Report.Table.Right; Report.Table.Right ]
+       ~header:[ "config"; "level"; "comb um^2"; "seq um^2"; "total"; "power" ]
+       body);
+  let find mode level =
+    List.find (fun r -> r.mode = mode && r.level = level) rows
+  in
+  let summarize mode =
+    let f = find mode Full and a = find mode Auto and m = find mode Manual in
+    Exp_common.printf
+      "%s: auto/full comb %.2f, seq %.2f, power %.2f; manual saves %.1f%% area, %.1f%% power over auto@."
+      (mode_name mode) (a.comb /. f.comb) (a.seq /. f.seq) (a.power /. f.power)
+      (100.0 *. (1.0 -. ((m.comb +. m.seq) /. (a.comb +. a.seq))))
+      (100.0 *. (1.0 -. (m.power /. a.power)))
+  in
+  summarize Pctrl.Controller.Cached;
+  summarize Pctrl.Controller.Uncached;
+  Exp_common.printf "@."

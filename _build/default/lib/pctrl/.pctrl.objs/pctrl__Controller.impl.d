@@ -1,0 +1,1 @@
+lib/pctrl/controller.ml: Bitvec Core Datapipe Dispatch Fun List Printf Protocol Rtl Synth

@@ -1,0 +1,1 @@
+lib/pctrl/controller.mli: Bitvec Dispatch Rtl

@@ -1,0 +1,1 @@
+lib/pctrl/datapipe.ml: Array Bitvec Core List Protocol Stdlib

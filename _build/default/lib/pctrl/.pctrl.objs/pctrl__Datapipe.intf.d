@@ -1,0 +1,1 @@
+lib/pctrl/datapipe.mli: Core

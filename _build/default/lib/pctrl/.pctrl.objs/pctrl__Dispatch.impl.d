@@ -1,0 +1,1 @@
+lib/pctrl/dispatch.ml: Array Core Hashtbl List Protocol

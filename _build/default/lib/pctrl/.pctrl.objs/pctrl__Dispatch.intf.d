@@ -1,0 +1,1 @@
+lib/pctrl/dispatch.mli: Core

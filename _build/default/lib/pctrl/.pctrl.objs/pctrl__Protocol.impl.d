@@ -1,0 +1,1 @@
+lib/pctrl/protocol.ml: Format

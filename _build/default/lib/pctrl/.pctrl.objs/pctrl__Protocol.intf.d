@@ -1,0 +1,1 @@
+lib/pctrl/protocol.mli: Format

@@ -1,0 +1,152 @@
+type mode = Cached | Uncached
+
+let depth = 96
+let line_beats = 8
+
+let sel_none = 0
+let sel_src = 1
+let sel_dst = 2
+
+let format =
+  [
+    { Core.Microcode.fname = "sel_mode"; fwidth = 2; onehot = false };
+    { Core.Microcode.fname = "cmd"; fwidth = Protocol.cmd_bits; onehot = false };
+    { Core.Microcode.fname = "buf_word"; fwidth = 3; onehot = false };
+    { Core.Microcode.fname = "resp"; fwidth = 1; onehot = false };
+  ]
+
+(* Symbolic instructions: labels are resolved once the whole program is
+   laid out. *)
+type sseq = Snext | Sjump of string | Sdispatch
+
+type suop = {
+  sel : int;
+  cmd : int;
+  word : int;
+  resp : bool;
+  sseq : sseq;
+}
+
+let uop ?(sel = sel_none) ?(cmd = Protocol.cmd_idle) ?(word = 0) ?(resp = false)
+    sseq =
+  { sel; cmd; word; resp; sseq }
+
+(* Streaming line transfer: issue, wait for the request to be accepted, one
+   microinstruction per beat (the paper's "commands, along with appropriate
+   timing, stored as microcode"), then deassert-and-respond. *)
+let line_body ~sel ~cmd ~resp ~next =
+  [ uop ~sel ~cmd Snext; uop ~sel ~cmd Snext ]
+  @ List.init line_beats (fun k -> uop ~sel ~cmd ~word:(k mod 8) Snext)
+  @ [ uop ~sel ~resp next ]
+
+let single_body ~sel ~cmd ~resp ~next =
+  [
+    uop ~sel ~cmd Snext;
+    uop ~sel ~cmd Snext;
+    uop ~sel ~cmd ~word:0 Snext;
+    uop ~sel ~resp next;
+  ]
+
+let cached_chunks =
+  [
+    ("idle", [ uop Sdispatch ]);
+    ("rdline",
+     line_body ~sel:sel_src ~cmd:Protocol.cmd_line_read ~resp:true
+       ~next:(Sjump "idle"));
+    ("wrline",
+     line_body ~sel:sel_dst ~cmd:Protocol.cmd_line_write ~resp:true
+       ~next:(Sjump "idle"));
+    ("copy",
+     line_body ~sel:sel_src ~cmd:Protocol.cmd_line_read ~resp:false
+       ~next:Snext
+     @ line_body ~sel:sel_dst ~cmd:Protocol.cmd_line_write ~resp:true
+         ~next:(Sjump "idle"));
+    ("evict",
+     line_body ~sel:sel_src ~cmd:Protocol.cmd_line_write ~resp:true
+       ~next:(Sjump "idle"));
+    ("urd",
+     single_body ~sel:sel_src ~cmd:Protocol.cmd_read ~resp:true
+       ~next:(Sjump "idle"));
+    ("uwr",
+     single_body ~sel:sel_dst ~cmd:Protocol.cmd_write ~resp:true
+       ~next:(Sjump "idle"));
+    ("sync", [ uop ~resp:true (Sjump "idle") ]);
+  ]
+
+let uncached_chunks =
+  [
+    ("idle", [ uop Sdispatch ]);
+    ("urd",
+     single_body ~sel:sel_src ~cmd:Protocol.cmd_read ~resp:true
+       ~next:(Sjump "idle"));
+    ("uwr",
+     single_body ~sel:sel_dst ~cmd:Protocol.cmd_write ~resp:true
+       ~next:(Sjump "idle"));
+    ("sync", [ uop ~resp:true (Sjump "idle") ]);
+  ]
+
+(* Opcode → entry label. *)
+let optable_of mode op =
+  match mode, (op : Protocol.opcode) with
+  | _, Protocol.Nop -> "idle"
+  | Cached, Protocol.Read_line -> "rdline"
+  | Cached, Protocol.Write_line -> "wrline"
+  | Cached, Protocol.Copy_line -> "copy"
+  | Cached, Protocol.Evict -> "evict"
+  | _, Protocol.Unc_read -> "urd"
+  | _, Protocol.Unc_write -> "uwr"
+  | _, Protocol.Sync -> "sync"
+  (* Uncached mode serves line traffic word-at-a-time and acknowledges
+     evictions immediately — there is nothing cached to write back. *)
+  | Uncached, Protocol.Read_line -> "urd"
+  | Uncached, Protocol.Write_line -> "uwr"
+  | Uncached, (Protocol.Copy_line | Protocol.Evict) -> "sync"
+
+let build chunks mode =
+  let addr_of = Hashtbl.create 16 in
+  let total =
+    List.fold_left
+      (fun a (label, uops) ->
+        Hashtbl.replace addr_of label a;
+        a + List.length uops)
+      0 chunks
+  in
+  assert (total <= depth);
+  let resolve l =
+    match Hashtbl.find_opt addr_of l with
+    | Some a -> a
+    | None -> invalid_arg ("Dispatch: unknown label " ^ l)
+  in
+  let concretize (u : suop) =
+    {
+      Core.Microcode.ctl =
+        [ ("sel_mode", u.sel); ("cmd", u.cmd); ("buf_word", u.word);
+          ("resp", if u.resp then 1 else 0) ];
+      seq =
+        (match u.sseq with
+         | Snext -> Core.Microcode.Next
+         | Sjump l -> Core.Microcode.Jump (resolve l)
+         | Sdispatch -> Core.Microcode.Dispatch 0);
+    }
+  in
+  let body = List.concat_map (fun (_, uops) -> List.map concretize uops) chunks in
+  let pad =
+    List.init (depth - total) (fun _ ->
+        { Core.Microcode.ctl = []; seq = Core.Microcode.Jump (resolve "idle") })
+  in
+  let code = Array.of_list (body @ pad) in
+  let targets =
+    Array.init (1 lsl Protocol.opcode_bits) (fun v ->
+        resolve (optable_of mode (Protocol.decode_opcode v)))
+  in
+  Core.Microcode.make ~name:"useq" ~format
+    ~dispatch:[ ("optable", targets) ]
+    ~opcode_bits:Protocol.opcode_bits ~entry:(resolve "idle") code
+
+let program = function
+  | Cached -> build cached_chunks Cached
+  | Uncached -> build uncached_chunks Uncached
+
+let cmd_values mode =
+  let p = program mode in
+  Core.Microcode.field_value_set p "cmd"

@@ -1,0 +1,38 @@
+type align = Left | Right
+
+let render ?align ~header rows =
+  let ncols = List.length header in
+  let aligns =
+    match align with
+    | Some a -> a
+    | None -> Left :: List.init (max 0 (ncols - 1)) (fun _ -> Right)
+  in
+  let aligns = Array.of_list aligns in
+  let pad_row row =
+    row @ List.init (max 0 (ncols - List.length row)) (fun _ -> "")
+  in
+  let all = List.map pad_row (header :: rows) in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell ->
+         if i < ncols then widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun i cell ->
+           let pad = widths.(i) - String.length cell in
+           let a = if i < Array.length aligns then aligns.(i) else Right in
+           match a with
+           | Left -> cell ^ String.make pad ' '
+           | Right -> String.make pad ' ' ^ cell)
+         row)
+  in
+  let sep = String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths)) in
+  String.concat "\n"
+    ((render_row (pad_row header) :: sep
+      :: List.map (fun r -> render_row (pad_row r)) rows)
+    @ [ "" ])
+
+let fmt_area a = Printf.sprintf "%.1f" a
+let fmt_ratio r = Printf.sprintf "%.2f" r

@@ -1,0 +1,18 @@
+(** Fixed-width text tables for the benchmark harness output. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  header:string list ->
+  string list list ->
+  string
+(** Pads every column to its widest cell; numeric-looking columns are best
+    passed with [Right] alignment (default: first column [Left], rest
+    [Right]). Rows shorter than the header are padded with empty cells. *)
+
+val fmt_area : float -> string
+(** µm² with one decimal. *)
+
+val fmt_ratio : float -> string
+(** Dimensionless with two decimals. *)

@@ -1,0 +1,1 @@
+lib/rtl/annot.ml: Bitvec Format List

@@ -1,0 +1,1 @@
+lib/rtl/annot.mli: Bitvec Format

@@ -1,0 +1,1 @@
+lib/rtl/builder.ml: Annot Array Bitvec Design Expr Hashtbl List Option Signal

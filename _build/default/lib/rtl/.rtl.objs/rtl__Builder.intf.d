@@ -1,0 +1,1 @@
+lib/rtl/builder.mli: Annot Bitvec Design Expr

@@ -1,0 +1,1 @@
+lib/rtl/compose.ml: Annot Builder Design Expr List Option Printf Signal

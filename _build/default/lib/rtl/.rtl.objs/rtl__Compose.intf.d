@@ -1,0 +1,1 @@
+lib/rtl/compose.mli: Builder Design Expr

@@ -1,0 +1,1 @@
+lib/rtl/design.ml: Annot Array Bitvec Expr Format Hashtbl List Option Printf Signal Stdlib String

@@ -1,0 +1,1 @@
+lib/rtl/design.mli: Annot Bitvec Expr Signal

@@ -1,0 +1,1 @@
+lib/rtl/eval.ml: Array Bitvec Design Expr Hashtbl List Map Signal String

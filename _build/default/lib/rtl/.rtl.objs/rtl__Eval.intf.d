@@ -1,0 +1,1 @@
+lib/rtl/eval.mli: Bitvec Design

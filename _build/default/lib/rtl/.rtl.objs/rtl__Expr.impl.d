@@ -1,0 +1,1 @@
+lib/rtl/expr.ml: Bitvec Format List Printf Signal

@@ -1,0 +1,1 @@
+lib/rtl/expr.mli: Bitvec Format Signal

@@ -1,0 +1,1 @@
+lib/rtl/serialize.ml: Annot Array Bitvec Design Expr Format In_channel List Out_channel Signal String

@@ -1,0 +1,1 @@
+lib/rtl/serialize.mli: Design

@@ -1,0 +1,1 @@
+lib/rtl/signal.ml: Format Stdlib

@@ -1,0 +1,1 @@
+lib/rtl/signal.mli: Format

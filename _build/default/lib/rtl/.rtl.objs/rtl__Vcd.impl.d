@@ -1,0 +1,1 @@
+lib/rtl/vcd.ml: Bitvec Buffer Char Design Eval Hashtbl List Out_channel Printf Signal String

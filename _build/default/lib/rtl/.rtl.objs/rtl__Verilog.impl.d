@@ -1,0 +1,1 @@
+lib/rtl/verilog.ml: Annot Array Bitvec Design Expr Format List Printf Signal String

@@ -1,0 +1,1 @@
+lib/rtl/verilog.mli: Design Format

@@ -1,0 +1,49 @@
+type provenance = Tool_detected | Generator
+
+type kind =
+  | Value_set of Bitvec.t list
+  | Fsm_state_vector of Bitvec.t list
+
+type t = { target : string; kind : kind; provenance : provenance }
+
+let check_values name vs =
+  match vs with
+  | [] -> invalid_arg (name ^ ": empty value set")
+  | v :: rest ->
+    let w = Bitvec.width v in
+    if List.exists (fun u -> Bitvec.width u <> w) rest then
+      invalid_arg (name ^ ": mixed widths in value set");
+    List.sort_uniq Bitvec.compare vs
+
+let value_set ?(provenance = Generator) target vs =
+  { target; kind = Value_set (check_values "Annot.value_set" vs); provenance }
+
+let one_hot ?(provenance = Generator) target ~width =
+  let vs = List.init width (fun i -> Bitvec.one_hot ~width i) in
+  { target; kind = Value_set vs; provenance }
+
+let fsm_state_vector ?(provenance = Generator) target vs =
+  { target;
+    kind = Fsm_state_vector (check_values "Annot.fsm_state_vector" vs);
+    provenance }
+
+let values t =
+  match t.kind with Value_set vs | Fsm_state_vector vs -> vs
+
+let signal_width t =
+  match values t with
+  | v :: _ -> Bitvec.width v
+  | [] -> assert false
+
+let pp fmt t =
+  let kind_name =
+    match t.kind with
+    | Value_set _ -> "value_set"
+    | Fsm_state_vector _ -> "fsm_state_vector"
+  in
+  let prov =
+    match t.provenance with Tool_detected -> "tool" | Generator -> "gen"
+  in
+  Format.fprintf fmt "@[%s %s (%s) {%a}@]" kind_name t.target prov
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") Bitvec.pp)
+    (values t)

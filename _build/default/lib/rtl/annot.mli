@@ -1,0 +1,39 @@
+(** Signal-encoding annotations.
+
+    These carry the "extra knowledge beyond RTL" the paper argues a chip
+    generator should emit alongside the design: restrictions of the possible
+    values of a signal (state sets), and FSM state-vector markers.
+
+    [provenance] distinguishes annotations the synthesis tool could infer on
+    its own (a case-statement-coded FSM, which Design Compiler auto-detects)
+    from those a generator must supply (table-based designs, microcode
+    subfields). The flow options choose which provenances to honour. *)
+
+type provenance =
+  | Tool_detected  (** inferable from coding style, always honoured *)
+  | Generator     (** supplied by the generator — the paper's manual
+                      [set_fsm_state_vector] / state annotation analogue *)
+
+type kind =
+  | Value_set of Bitvec.t list
+      (** The signal only ever takes these values. *)
+  | Fsm_state_vector of Bitvec.t list
+      (** The signal is an FSM state register with these reachable
+          encodings. *)
+
+type t = { target : string; kind : kind; provenance : provenance }
+
+val value_set : ?provenance:provenance -> string -> Bitvec.t list -> t
+(** @raise Invalid_argument if the list is empty or mixes widths. *)
+
+val one_hot : ?provenance:provenance -> string -> width:int -> t
+(** Sugar: value set of all [width] one-hot codes. *)
+
+val fsm_state_vector : ?provenance:provenance -> string -> Bitvec.t list -> t
+
+val values : t -> Bitvec.t list
+(** The allowed values, whatever the kind. *)
+
+val signal_width : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,328 @@
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Parse_error m)) fmt
+
+(* ------------------------------------------------------- tiny sexp core *)
+
+type sexp = Atom of string | List of sexp list
+
+let rec pp_sexp fmt = function
+  | Atom a -> Format.pp_print_string fmt a
+  | List items ->
+    Format.fprintf fmt "@[<hov 1>(%a)@]"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_sexp)
+      items
+
+let parse_sexp text =
+  let n = String.length text in
+  let rec skip_ws i =
+    if i < n && (text.[i] = ' ' || text.[i] = '\n' || text.[i] = '\t' || text.[i] = '\r')
+    then skip_ws (i + 1)
+    else if i < n && text.[i] = ';' then begin
+      let rec eol j = if j < n && text.[j] <> '\n' then eol (j + 1) else j in
+      skip_ws (eol i)
+    end
+    else i
+  in
+  let rec parse i =
+    let i = skip_ws i in
+    if i >= n then fail "unexpected end of input"
+    else if text.[i] = '(' then parse_list (i + 1) []
+    else if text.[i] = ')' then fail "unexpected ')'"
+    else begin
+      let rec atom_end j =
+        if j < n
+           && not
+                (text.[j] = ' ' || text.[j] = '\n' || text.[j] = '\t'
+                || text.[j] = '\r' || text.[j] = '(' || text.[j] = ')')
+        then atom_end (j + 1)
+        else j
+      in
+      let j = atom_end i in
+      (Atom (String.sub text i (j - i)), j)
+    end
+  and parse_list i acc =
+    let i = skip_ws i in
+    if i >= n then fail "unterminated list"
+    else if text.[i] = ')' then (List (List.rev acc), i + 1)
+    else begin
+      let item, j = parse i in
+      parse_list j (item :: acc)
+    end
+  in
+  let s, j = parse 0 in
+  let j = skip_ws j in
+  if j <> n then fail "trailing garbage after design";
+  s
+
+(* --------------------------------------------------------------- writing *)
+
+let bv_atom v = Atom (Bitvec.to_string v)
+
+let rec expr_sexp (e : Expr.t) =
+  match e with
+  | Expr.Const v -> List [ Atom "const"; bv_atom v ]
+  | Expr.Signal s -> List [ Atom "sig"; Atom s.Signal.name; Atom (string_of_int s.width) ]
+  | Expr.Unop (op, a) ->
+    let name =
+      match op with
+      | Expr.Not -> "not" | Expr.Red_and -> "redand" | Expr.Red_or -> "redor"
+      | Expr.Red_xor -> "redxor"
+    in
+    List [ Atom name; expr_sexp a ]
+  | Expr.Binop (op, a, b) ->
+    let name =
+      match op with
+      | Expr.And -> "and" | Expr.Or -> "or" | Expr.Xor -> "xor"
+      | Expr.Add -> "add" | Expr.Sub -> "sub" | Expr.Eq -> "eq"
+      | Expr.Ne -> "ne" | Expr.Ult -> "ult"
+    in
+    List [ Atom name; expr_sexp a; expr_sexp b ]
+  | Expr.Mux (s, a, b) -> List [ Atom "mux"; expr_sexp s; expr_sexp a; expr_sexp b ]
+  | Expr.Concat es -> List (Atom "concat" :: List.map expr_sexp es)
+  | Expr.Slice { e; hi; lo } ->
+    List [ Atom "slice"; expr_sexp e; Atom (string_of_int hi); Atom (string_of_int lo) ]
+  | Expr.Table_read { table; addr; width } ->
+    List [ Atom "read"; Atom table; Atom (string_of_int width); expr_sexp addr ]
+
+let reset_atom = function
+  | Design.No_reset -> Atom "none"
+  | Design.Sync_reset -> Atom "sync"
+  | Design.Async_reset -> Atom "async"
+
+let design_sexp (d : Design.t) =
+  let inputs =
+    List
+      (Atom "inputs"
+       :: List.map
+            (fun (s : Signal.t) ->
+              List [ Atom s.name; Atom (string_of_int s.width) ])
+            d.inputs)
+  in
+  let nets =
+    List
+      (Atom "nets"
+       :: List.map
+            (fun ((s : Signal.t), e) ->
+              List [ Atom s.name; Atom (string_of_int s.width); expr_sexp e ])
+            d.nets)
+  in
+  let regs =
+    List
+      (Atom "regs"
+       :: List.map
+            (fun (r : Design.reg) ->
+              List
+                ([ Atom r.q.Signal.name;
+                   Atom (string_of_int r.q.Signal.width);
+                   List [ Atom "reset"; reset_atom r.reset ];
+                   List [ Atom "init"; bv_atom r.init ];
+                   List [ Atom "config"; Atom (string_of_bool r.is_config) ] ]
+                @ (match r.enable with
+                   | None -> []
+                   | Some en -> [ List [ Atom "enable"; expr_sexp en ] ])
+                @ [ expr_sexp r.d ]))
+            d.regs)
+  in
+  let tables =
+    List
+      (Atom "tables"
+       :: List.map
+            (fun (t : Design.table) ->
+              List
+                [ Atom t.tname;
+                  Atom (string_of_int t.twidth);
+                  Atom (string_of_int t.depth);
+                  (match t.storage with
+                   | Design.Config -> List [ Atom "config" ]
+                   | Design.Rom contents ->
+                     List (Atom "rom" :: Array.to_list (Array.map bv_atom contents))) ])
+            d.tables)
+  in
+  let outputs =
+    List
+      (Atom "outputs"
+       :: List.map
+            (fun ((s : Signal.t), e) ->
+              List [ Atom s.name; Atom (string_of_int s.width); expr_sexp e ])
+            d.outputs)
+  in
+  let annots =
+    List
+      (Atom "annots"
+       :: List.map
+            (fun (a : Annot.t) ->
+              let kind =
+                match a.kind with
+                | Annot.Value_set _ -> "value_set"
+                | Annot.Fsm_state_vector _ -> "fsm_state_vector"
+              in
+              let prov =
+                match a.provenance with
+                | Annot.Tool_detected -> "tool"
+                | Annot.Generator -> "generator"
+              in
+              List
+                (Atom kind :: Atom a.target :: Atom prov
+                 :: List.map bv_atom (Annot.values a)))
+            d.annots)
+  in
+  List
+    [ Atom "design"; List [ Atom "name"; Atom d.name ]; inputs; nets; regs;
+      tables; outputs; annots ]
+
+let write d = Format.asprintf "%a@." pp_sexp (design_sexp d)
+
+let to_file path d =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (write d))
+
+(* --------------------------------------------------------------- reading *)
+
+let parse_bv = function
+  | Atom a ->
+    (match String.index_opt a '\'' with
+     | Some i when i + 1 < String.length a && a.[i + 1] = 'b' ->
+       let bits = String.sub a (i + 2) (String.length a - i - 2) in
+       let v = Bitvec.of_binary_string bits in
+       let w = int_of_string (String.sub a 0 i) in
+       if Bitvec.width v <> w then fail "bit vector width mismatch in %s" a;
+       v
+     | _ -> fail "expected bit vector, got %s" a)
+  | List _ -> fail "expected bit vector atom"
+
+let parse_int_atom = function
+  | Atom a ->
+    (match int_of_string_opt a with
+     | Some v -> v
+     | None -> fail "expected integer, got %s" a)
+  | List _ -> fail "expected integer atom"
+
+let rec parse_expr s : Expr.t =
+  match s with
+  | List [ Atom "const"; v ] -> Expr.const (parse_bv v)
+  | List [ Atom "sig"; Atom name; w ] ->
+    Expr.signal (Signal.make name (parse_int_atom w))
+  | List [ Atom "not"; a ] -> Expr.not_ (parse_expr a)
+  | List [ Atom "redand"; a ] -> Expr.red_and (parse_expr a)
+  | List [ Atom "redor"; a ] -> Expr.red_or (parse_expr a)
+  | List [ Atom "redxor"; a ] -> Expr.red_xor (parse_expr a)
+  | List [ Atom "and"; a; b ] -> Expr.and_ (parse_expr a) (parse_expr b)
+  | List [ Atom "or"; a; b ] -> Expr.or_ (parse_expr a) (parse_expr b)
+  | List [ Atom "xor"; a; b ] -> Expr.xor (parse_expr a) (parse_expr b)
+  | List [ Atom "add"; a; b ] -> Expr.add (parse_expr a) (parse_expr b)
+  | List [ Atom "sub"; a; b ] -> Expr.sub (parse_expr a) (parse_expr b)
+  | List [ Atom "eq"; a; b ] -> Expr.eq (parse_expr a) (parse_expr b)
+  | List [ Atom "ne"; a; b ] -> Expr.ne (parse_expr a) (parse_expr b)
+  | List [ Atom "ult"; a; b ] -> Expr.ult (parse_expr a) (parse_expr b)
+  | List [ Atom "mux"; c; a; b ] ->
+    Expr.mux (parse_expr c) (parse_expr a) (parse_expr b)
+  | List (Atom "concat" :: es) -> Expr.concat (List.map parse_expr es)
+  | List [ Atom "slice"; e; hi; lo ] ->
+    Expr.slice (parse_expr e) ~hi:(parse_int_atom hi) ~lo:(parse_int_atom lo)
+  | List [ Atom "read"; Atom table; w; addr ] ->
+    Expr.table_read ~table ~width:(parse_int_atom w) ~addr:(parse_expr addr)
+  | List (Atom op :: _) -> fail "unknown expression form %s" op
+  | _ -> fail "malformed expression"
+
+let parse_reset = function
+  | Atom "none" -> Design.No_reset
+  | Atom "sync" -> Design.Sync_reset
+  | Atom "async" -> Design.Async_reset
+  | s -> fail "unknown reset kind %a" pp_sexp s
+
+let section name = function
+  | List (Atom n :: rest) when n = name -> rest
+  | s -> fail "expected (%s ...), got %a" name pp_sexp s
+
+let read text =
+  let d =
+    match parse_sexp text with
+    | List (Atom "design" :: sections) -> sections
+    | _ -> fail "expected (design ...)"
+  in
+  match d with
+  | [ name_s; inputs_s; nets_s; regs_s; tables_s; outputs_s; annots_s ] ->
+    let name =
+      match section "name" name_s with
+      | [ Atom n ] -> n
+      | _ -> fail "bad name section"
+    in
+    let inputs =
+      List.map
+        (function
+          | List [ Atom n; w ] -> Signal.make n (parse_int_atom w)
+          | s -> fail "bad input %a" pp_sexp s)
+        (section "inputs" inputs_s)
+    in
+    let parse_driven = function
+      | List [ Atom n; w; e ] -> (Signal.make n (parse_int_atom w), parse_expr e)
+      | s -> fail "bad net/output %a" pp_sexp s
+    in
+    let nets = List.map parse_driven (section "nets" nets_s) in
+    let outputs = List.map parse_driven (section "outputs" outputs_s) in
+    let regs =
+      List.map
+        (function
+          | List (Atom n :: w :: List [ Atom "reset"; r ]
+                  :: List [ Atom "init"; iv ]
+                  :: List [ Atom "config"; Atom cfg ] :: rest) ->
+            let enable, d =
+              match rest with
+              | [ List [ Atom "enable"; en ]; d ] -> (Some (parse_expr en), d)
+              | [ d ] -> (None, d)
+              | _ -> fail "bad register body"
+            in
+            {
+              Design.q = Signal.make n (parse_int_atom w);
+              d = parse_expr d;
+              reset = parse_reset r;
+              init = parse_bv iv;
+              enable;
+              is_config = bool_of_string cfg;
+            }
+          | s -> fail "bad register %a" pp_sexp s)
+        (section "regs" regs_s)
+    in
+    let tables =
+      List.map
+        (function
+          | List [ Atom n; w; depth; storage ] ->
+            let storage =
+              match storage with
+              | List [ Atom "config" ] -> Design.Config
+              | List (Atom "rom" :: words) ->
+                Design.Rom (Array.of_list (List.map parse_bv words))
+              | s -> fail "bad table storage %a" pp_sexp s
+            in
+            { Design.tname = n; twidth = parse_int_atom w;
+              depth = parse_int_atom depth; storage }
+          | s -> fail "bad table %a" pp_sexp s)
+        (section "tables" tables_s)
+    in
+    let annots =
+      List.map
+        (function
+          | List (Atom kind :: Atom target :: Atom prov :: values) ->
+            let provenance =
+              match prov with
+              | "tool" -> Annot.Tool_detected
+              | "generator" -> Annot.Generator
+              | _ -> fail "unknown provenance %s" prov
+            in
+            let vs = List.map parse_bv values in
+            (match kind with
+             | "value_set" -> Annot.value_set ~provenance target vs
+             | "fsm_state_vector" -> Annot.fsm_state_vector ~provenance target vs
+             | _ -> fail "unknown annotation kind %s" kind)
+          | s -> fail "bad annotation %a" pp_sexp s)
+        (section "annots" annots_s)
+    in
+    let design =
+      { Design.name; inputs; outputs; nets; regs; tables; annots }
+    in
+    Design.validate design;
+    design
+  | _ -> fail "design must have name/inputs/nets/regs/tables/outputs/annots"
+
+let of_file path = read (In_channel.with_open_text path In_channel.input_all)

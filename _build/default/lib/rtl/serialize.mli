@@ -1,0 +1,28 @@
+(** Designs as data: S-expression serialization of {!Design.t}.
+
+    A chip generator's intermediate artifacts should be inspectable and
+    diffable; this module gives every design a stable textual form that
+    reads back exactly ([read (write d)] reproduces the design up to
+    expression structure — checked by roundtrip property tests).
+
+    The concrete syntax, loosely:
+    {v
+    (design (name counter)
+      (inputs (en 1))
+      (regs (q 3 (reset sync) (init 3'b000) (enable (sig en 1))
+               (add (sig q 3) (const 3'b001))))
+      (outputs (count 3 (sig q 3))))
+    v} *)
+
+val write : Design.t -> string
+
+val to_file : string -> Design.t -> unit
+
+exception Parse_error of string
+
+val read : string -> Design.t
+(** Parses and {!Design.validate}s.
+    @raise Parse_error on syntax errors, [Invalid_argument] on designs that
+    do not validate. *)
+
+val of_file : string -> Design.t

@@ -1,0 +1,25 @@
+(** Value-change-dump (VCD) waveform output.
+
+    Runs a design on a stimulus and records the watched signals in the
+    standard VCD format (IEEE 1364), viewable with GTKWave and friends. One
+    clock cycle spans 10 time units, with the implicit [clk] toggling at
+    mid-cycle; watched values are sampled before each rising edge. *)
+
+val of_run :
+  ?config:(string * Bitvec.t array) list ->
+  Design.t ->
+  stimulus:(string * Bitvec.t) list list ->
+  watch:string list ->
+  string
+(** [of_run d ~stimulus ~watch] — one stimulus association list per cycle
+    (as in {!Eval.run}); [watch] lists the signals to record (inputs, nets,
+    registers or outputs). Only value *changes* are emitted, per the
+    format. *)
+
+val to_file :
+  ?config:(string * Bitvec.t array) list ->
+  string ->
+  Design.t ->
+  stimulus:(string * Bitvec.t) list list ->
+  watch:string list ->
+  unit

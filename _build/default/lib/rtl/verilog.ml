@@ -1,0 +1,105 @@
+let range w = if w = 1 then "" else Printf.sprintf "[%d:0] " (w - 1)
+
+let rec expr_str e =
+  match e with
+  | Expr.Const v ->
+    Printf.sprintf "%d'b%s" (Bitvec.width v) (Bitvec.to_binary_string v)
+  | Expr.Signal s -> s.Signal.name
+  | Expr.Unop (op, a) ->
+    let sym =
+      match op with
+      | Expr.Not -> "~" | Expr.Red_and -> "&" | Expr.Red_or -> "|"
+      | Expr.Red_xor -> "^"
+    in
+    sym ^ atom a
+  | Expr.Binop (op, a, b) ->
+    let sym =
+      match op with
+      | Expr.And -> "&" | Expr.Or -> "|" | Expr.Xor -> "^"
+      | Expr.Add -> "+" | Expr.Sub -> "-" | Expr.Eq -> "=="
+      | Expr.Ne -> "!=" | Expr.Ult -> "<"
+    in
+    Printf.sprintf "%s %s %s" (atom a) sym (atom b)
+  | Expr.Mux (s, a, b) ->
+    Printf.sprintf "%s ? %s : %s" (atom s) (atom a) (atom b)
+  | Expr.Concat es -> "{" ^ String.concat ", " (List.map expr_str es) ^ "}"
+  | Expr.Slice { e; hi; lo } ->
+    if hi = lo then Printf.sprintf "%s[%d]" (atom e) lo
+    else Printf.sprintf "%s[%d:%d]" (atom e) hi lo
+  | Expr.Table_read { table; addr; _ } ->
+    Printf.sprintf "%s[%s]" table (expr_str addr)
+
+and atom e =
+  match e with
+  | Expr.Const _ | Expr.Signal _ | Expr.Concat _ | Expr.Slice _
+  | Expr.Table_read _ -> expr_str e
+  | Expr.Unop _ | Expr.Binop _ | Expr.Mux _ -> "(" ^ expr_str e ^ ")"
+
+let pp fmt (d : Design.t) =
+  let out fmtstr = Format.fprintf fmt fmtstr in
+  let ports =
+    [ "input logic clk"; "input logic rst" ]
+    @ List.map
+        (fun (s : Signal.t) -> Printf.sprintf "input logic %s%s" (range s.width) s.name)
+        d.inputs
+    @ List.map
+        (fun ((s : Signal.t), _) ->
+          Printf.sprintf "output logic %s%s" (range s.width) s.name)
+        d.outputs
+  in
+  out "module %s (@.  %s@.);@." d.name (String.concat ",\n  " ports);
+  List.iter
+    (fun (t : Design.table) ->
+      match t.storage with
+      | Design.Rom contents ->
+        out "  // ROM %s: %d x %d bits@." t.tname t.depth t.twidth;
+        out "  logic %s%s [0:%d];@." (range t.twidth) t.tname (t.depth - 1);
+        out "  initial begin@.";
+        Array.iteri
+          (fun i v ->
+            out "    %s[%d] = %d'b%s;@." t.tname i t.twidth
+              (Bitvec.to_binary_string v))
+          contents;
+        out "  end@."
+      | Design.Config ->
+        out "  // CONFIGURATION MEMORY %s: %d x %d bits (programmable; write port elided)@."
+          t.tname t.depth t.twidth;
+        out "  logic %s%s [0:%d];@." (range t.twidth) t.tname (t.depth - 1))
+    d.tables;
+  List.iter
+    (fun ((s : Signal.t), e) ->
+      out "  logic %s%s;@." (range s.width) s.name;
+      out "  assign %s = %s;@." s.name (expr_str e))
+    (Design.net_order d);
+  List.iter
+    (fun (r : Design.reg) ->
+      let q = r.q.Signal.name in
+      out "  logic %s%s;%s@." (range r.q.Signal.width) q
+        (if r.is_config then "  // configuration register" else "");
+      let edge =
+        match r.reset with
+        | Design.Async_reset -> "posedge clk or posedge rst"
+        | Design.Sync_reset | Design.No_reset -> "posedge clk"
+      in
+      out "  always_ff @@(%s)@." edge;
+      (match r.reset with
+       | Design.No_reset ->
+         (match r.enable with
+          | None -> out "    %s <= %s;@." q (expr_str r.d)
+          | Some en ->
+            out "    if (%s) %s <= %s;@." (expr_str en) q (expr_str r.d))
+       | Design.Sync_reset | Design.Async_reset ->
+         out "    if (rst) %s <= %d'b%s;@." q r.q.Signal.width
+           (Bitvec.to_binary_string r.init);
+         (match r.enable with
+          | None -> out "    else %s <= %s;@." q (expr_str r.d)
+          | Some en ->
+            out "    else if (%s) %s <= %s;@." (expr_str en) q (expr_str r.d))))
+    d.regs;
+  List.iter
+    (fun ((s : Signal.t), e) -> out "  assign %s = %s;@." s.name (expr_str e))
+    d.outputs;
+  List.iter (fun a -> out "  // annotation: %s@." (Format.asprintf "%a" Annot.pp a)) d.annots;
+  out "endmodule@."
+
+let emit d = Format.asprintf "%a" pp d

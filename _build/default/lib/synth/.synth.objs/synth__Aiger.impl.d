@@ -1,0 +1,1 @@
+lib/synth/aiger.ml: Aig Array Buffer Format Hashtbl In_channel List Option Out_channel Printf Rtl String

@@ -1,0 +1,1 @@
+lib/synth/aiger.mli: Aig

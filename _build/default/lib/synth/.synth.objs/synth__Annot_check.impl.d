@@ -1,0 +1,1 @@
+lib/synth/annot_check.ml: Aig Annots Array Bdd Bitvec Format Hashtbl List

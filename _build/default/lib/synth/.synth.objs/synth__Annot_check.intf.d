@@ -1,0 +1,1 @@
+lib/synth/annot_check.mli: Aig Annots

@@ -1,0 +1,1 @@
+lib/synth/annots.ml: Aig Array Bitvec Hashtbl List Lower Option Printf Rtl

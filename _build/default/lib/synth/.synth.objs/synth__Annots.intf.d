@@ -1,0 +1,1 @@
+lib/synth/annots.mli: Aig Bitvec Hashtbl Lower Rtl

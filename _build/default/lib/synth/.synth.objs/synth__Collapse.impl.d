@@ -1,0 +1,1 @@
+lib/synth/collapse.ml: Aig Annots Array Bytes Fun Hashtbl List Option Printf Stdlib Twolevel

@@ -1,0 +1,1 @@
+lib/synth/collapse.mli: Aig Annots

@@ -1,0 +1,1 @@
+lib/synth/equiv.ml: Aig Array Bitvec Hashtbl List Printf Random Rtl Stdlib String

@@ -1,0 +1,1 @@
+lib/synth/equiv.mli: Aig Bitvec Rtl

@@ -1,0 +1,1 @@
+lib/synth/flow.ml: Aig Annots Collapse Equiv List Lower Map Retime Stateprop Sweep

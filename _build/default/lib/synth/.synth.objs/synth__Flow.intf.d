@@ -1,0 +1,1 @@
+lib/synth/flow.mli: Aig Cells Equiv Lower Map Rtl

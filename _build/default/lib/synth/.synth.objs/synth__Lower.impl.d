@@ -1,0 +1,1 @@
+lib/synth/lower.ml: Aig Array Bitvec Hashtbl List Printf Rtl

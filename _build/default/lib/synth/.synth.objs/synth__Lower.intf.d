@@ -1,0 +1,1 @@
+lib/synth/lower.mli: Aig Hashtbl Rtl

@@ -1,0 +1,1 @@
+lib/synth/map.ml: Aig Array Cells Float Format Hashtbl List Option Printf Random Stdlib

@@ -1,0 +1,1 @@
+lib/synth/map.mli: Aig Cells Format Hashtbl Stdlib

@@ -1,0 +1,1 @@
+lib/synth/netlist.ml: Aig Array Buffer Cells Hashtbl List Map Option Printf Rtl Stdlib String

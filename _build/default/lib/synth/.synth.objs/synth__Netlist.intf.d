@@ -1,0 +1,1 @@
+lib/synth/netlist.mli: Aig Cells

@@ -1,0 +1,1 @@
+lib/synth/partial_eval.ml: Bitvec List Option Rtl

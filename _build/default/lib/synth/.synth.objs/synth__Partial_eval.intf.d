@@ -1,0 +1,1 @@
+lib/synth/partial_eval.mli: Bitvec Rtl

@@ -1,0 +1,1 @@
+lib/synth/power.ml: Aig Array Bitvec Cells Format Hashtbl List Map Printf Random

@@ -1,0 +1,1 @@
+lib/synth/power.mli: Aig Bitvec Cells Format

@@ -1,0 +1,1 @@
+lib/synth/reach.ml: Aig Array Bdd Fun Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/synth/reach.mli: Aig Bitvec

@@ -1,0 +1,1 @@
+lib/synth/retime.ml: Aig Hashtbl List Printf Rtl Sweep

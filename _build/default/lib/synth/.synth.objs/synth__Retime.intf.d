@@ -1,0 +1,1 @@
+lib/synth/retime.mli: Aig

@@ -1,0 +1,1 @@
+lib/synth/seq_check.ml: Aig Bdd Fun Hashtbl List

@@ -1,0 +1,1 @@
+lib/synth/seq_check.mli: Aig

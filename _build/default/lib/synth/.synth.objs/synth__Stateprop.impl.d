@@ -1,0 +1,1 @@
+lib/synth/stateprop.ml: Aig Annots Array Bdd Bitvec Hashtbl List

@@ -1,0 +1,1 @@
+lib/synth/stateprop.mli: Aig Annots

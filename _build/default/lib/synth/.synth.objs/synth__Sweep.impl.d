@@ -1,0 +1,1 @@
+lib/synth/sweep.ml: Aig Hashtbl List

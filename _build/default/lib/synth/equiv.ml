@@ -1,0 +1,149 @@
+type mismatch = {
+  cycle : int;
+  output : string;
+  got : bool;
+  expected : bool;
+}
+
+(* One sequential run of an AIG: feed per-cycle input bits by PI name, return
+   per-cycle PO values by name. *)
+let aig_run g ~cycles ~input =
+  let state = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      let _, init, _, _ = Aig.latch_info g n in
+      Hashtbl.replace state n init)
+    (Aig.latches g);
+  let rows = ref [] in
+  for cycle = 0 to cycles - 1 do
+    let read =
+      Aig.eval_all g
+        ~pi:(fun n -> input cycle (Aig.pi_name g n))
+        ~latch:(fun n -> Hashtbl.find state n)
+    in
+    let row =
+      List.map (fun (name, l) -> (name, read l)) (Aig.pos g)
+    in
+    rows := row :: !rows;
+    List.iter
+      (fun n -> Hashtbl.replace state n (read (Aig.latch_next g n)))
+      (Aig.latches g)
+  done;
+  List.rev !rows
+
+let interface_names g =
+  ( List.sort Stdlib.compare (List.map (Aig.pi_name g) (Aig.pis g)),
+    List.sort Stdlib.compare (List.map fst (Aig.pos g)) )
+
+let find_mismatch rows_a rows_b =
+  let rec scan cycle = function
+    | [], [] -> None
+    | row_a :: rest_a, row_b :: rest_b ->
+      let bad =
+        List.find_opt
+          (fun (name, v) -> List.assoc name row_b <> v)
+          row_a
+      in
+      (match bad with
+       | Some (name, v) ->
+         Some { cycle; output = name; got = v; expected = not v }
+       | None -> scan (cycle + 1) (rest_a, rest_b))
+    | _, _ -> assert false
+  in
+  scan 0 (rows_a, rows_b)
+
+let aig_vs_aig ?(cycles = 64) ?(runs = 8) ~seed a b =
+  let pi_a, po_a = interface_names a and pi_b, po_b = interface_names b in
+  if pi_a <> pi_b then invalid_arg "Equiv.aig_vs_aig: input interfaces differ";
+  if po_a <> po_b then invalid_arg "Equiv.aig_vs_aig: output interfaces differ";
+  let rec run_i i =
+    if i >= runs then None
+    else begin
+      let rng = Random.State.make [| seed; i |] in
+      let tape : (int * string, bool) Hashtbl.t = Hashtbl.create 256 in
+      let input cycle name =
+        match Hashtbl.find_opt tape (cycle, name) with
+        | Some v -> v
+        | None ->
+          let v = Random.State.bool rng in
+          Hashtbl.replace tape (cycle, name) v;
+          v
+      in
+      let rows_a = aig_run a ~cycles ~input in
+      let rows_b = aig_run b ~cycles ~input in
+      match find_mismatch rows_a rows_b with
+      | Some m -> Some m
+      | None -> run_i (i + 1)
+    end
+  in
+  run_i 0
+
+let rtl_vs_aig ?(cycles = 64) ?(runs = 8) ?(config = []) ~seed
+    (d : Rtl.Design.t) g =
+  let rec run_i i =
+    if i >= runs then None
+    else begin
+      let rng = Random.State.make [| seed; i; 77 |] in
+      let st = Rtl.Eval.create ~config d in
+      (* Pre-draw the whole input tape so both sides see the same bits. *)
+      let tape =
+        Array.init cycles (fun _ ->
+            List.map
+              (fun (s : Rtl.Signal.t) ->
+                ( s.name,
+                  Bitvec.of_bits
+                    (List.init s.width (fun _ -> Random.State.bool rng)) ))
+              d.inputs)
+      in
+      let input cycle name =
+        (* name is "sig[i]" *)
+        let base, idx =
+          match String.index_opt name '[' with
+          | Some k ->
+            ( String.sub name 0 k,
+              int_of_string (String.sub name (k + 1) (String.length name - k - 2)) )
+          | None -> (name, 0)
+        in
+        Bitvec.get (List.assoc base tape.(cycle)) idx
+      in
+      let aig_rows = aig_run g ~cycles ~input in
+      let rec cycle_loop cycle aig_rows =
+        match aig_rows with
+        | [] -> None
+        | row :: rest ->
+          List.iter
+            (fun (name, v) -> Rtl.Eval.set_input st name v)
+            tape.(cycle);
+          let bad =
+            List.fold_left
+              (fun acc ((s : Rtl.Signal.t), _) ->
+                match acc with
+                | Some _ -> acc
+                | None ->
+                  let v = Rtl.Eval.peek st s.name in
+                  let rec check i =
+                    if i >= s.width then None
+                    else begin
+                      let expected = Bitvec.get v i in
+                      let got = List.assoc (Printf.sprintf "%s[%d]" s.name i) row in
+                      if got <> expected then
+                        Some { cycle; output = Printf.sprintf "%s[%d]" s.name i;
+                               got; expected }
+                      else check (i + 1)
+                    end
+                  in
+                  check 0)
+              None d.outputs
+          in
+          (match bad with
+           | Some m -> Some m
+           | None ->
+             Rtl.Eval.step st;
+             cycle_loop (cycle + 1) rest)
+      in
+      match cycle_loop 0 aig_rows with
+      | Some m -> Some m
+      | None -> run_i (i + 1)
+    end
+  in
+  run_i 0

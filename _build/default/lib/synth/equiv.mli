@@ -1,0 +1,35 @@
+(** Simulation-based equivalence checking.
+
+    Used by tests and the flow's self-check: two sequential netlists are
+    driven from their initial states with the same random input streams and
+    their outputs compared cycle by cycle. This is a falsifier, not a proof;
+    the optimization passes are also covered by exact per-pass arguments
+    (BDD canonicity, cover agreement), so random simulation is the
+    integration-level safety net. *)
+
+type mismatch = {
+  cycle : int;
+  output : string;
+  got : bool;
+  expected : bool;
+}
+
+val aig_vs_aig :
+  ?cycles:int -> ?runs:int -> seed:int -> Aig.t -> Aig.t -> mismatch option
+(** Both graphs must have the same PI and PO names (latch sets may differ).
+    Returns the first mismatch found, [None] if all runs agree.
+    @raise Invalid_argument if the interfaces differ. *)
+
+val rtl_vs_aig :
+  ?cycles:int ->
+  ?runs:int ->
+  ?config:(string * Bitvec.t array) list ->
+  seed:int ->
+  Rtl.Design.t ->
+  Aig.t ->
+  mismatch option
+(** Compare the RTL interpreter against a lowered/optimized AIG. [config]
+    binds configuration tables on the RTL side; on the AIG side the same
+    contents must already be reflected (bound designs) — flexible designs
+    with unbound configuration latches can only be compared with all-zero
+    config. *)

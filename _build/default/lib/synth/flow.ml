@@ -1,0 +1,63 @@
+type options = {
+  collapse_cap : int;
+  espresso_iters : int;
+  honor_tool_annots : bool;
+  honor_generator_annots : bool;
+  annot_width_cap : int;
+  retime : bool;
+  stateprop : bool;
+  self_check : bool;
+}
+
+let default =
+  {
+    collapse_cap = 14;
+    espresso_iters = 3;
+    honor_tool_annots = true;
+    honor_generator_annots = false;
+    annot_width_cap = 32;
+    retime = false;
+    stateprop = true;
+    self_check = false;
+  }
+
+type result = {
+  lowered : Lower.t;
+  aig : Aig.t;
+  report : Map.report;
+}
+
+exception Self_check_failed of Equiv.mismatch
+
+let area r = Map.total r.report
+
+let compile ?(options = default) lib design =
+  let lowered = Lower.run design in
+  let honored =
+    Annots.honored
+      ~tool:options.honor_tool_annots
+      ~generator:options.honor_generator_annots
+      ~width_cap:options.annot_width_cap
+      (Annots.extract lowered)
+  in
+  let relocate g = List.filter_map (Annots.relocate g) honored in
+  let g = Sweep.run lowered.Lower.aig in
+  let g = if options.retime then Retime.run g else g in
+  let g =
+    if options.stateprop && honored <> [] then
+      Stateprop.run ~annots:(relocate g) g
+    else g
+  in
+  let collapse g =
+    Collapse.run ~cap:options.collapse_cap
+      ~espresso_iters:options.espresso_iters ~annots:(relocate g) g
+  in
+  let g = Sweep.run (collapse g) in
+  let g = Sweep.run (collapse g) in
+  if options.self_check then begin
+    match Equiv.aig_vs_aig ~seed:4242 lowered.Lower.aig g with
+    | Some m -> raise (Self_check_failed m)
+    | None -> ()
+  end;
+  let report = Map.run lib g in
+  { lowered; aig = g; report }

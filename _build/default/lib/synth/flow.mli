@@ -1,0 +1,49 @@
+(** Canned synthesis flows (the "tool" the experiments drive).
+
+    A flow lowers a design and runs:
+    sweep → [retime] → [state propagation] → collapse → sweep → collapse →
+    sweep → map.
+
+    The option record exposes exactly the knobs the paper's experiments
+    turn:
+    - [honor_tool_annots]: whether FSM-style annotations the tool could
+      infer from coding style are used (Design Compiler's automatic FSM
+      detection on case-statement RTL). Default on.
+    - [honor_generator_annots]: whether generator-supplied annotations
+      (the manual [set_fsm_state_vector] / state annotation of the paper)
+      are used. Default off — turning it on is the "State annotated"
+      series of Figs. 6 and 8.
+    - [annot_width_cap]: annotations on vectors wider than this are ignored
+      (the paper's n ≤ 32 cliff).
+    - [retime]: forward retiming before optimization (Fig. 8's "Retimed").
+    - [self_check]: after optimizing, random-simulate the result against
+      the freshly lowered netlist and raise on any mismatch. *)
+
+type options = {
+  collapse_cap : int;
+  espresso_iters : int;
+  honor_tool_annots : bool;
+  honor_generator_annots : bool;
+  annot_width_cap : int;
+  retime : bool;
+  stateprop : bool;
+  self_check : bool;
+}
+
+val default : options
+(** [{ collapse_cap = 14; espresso_iters = 3; honor_tool_annots = true;
+      honor_generator_annots = false; annot_width_cap = 32; retime = false;
+      stateprop = true; self_check = false }] *)
+
+type result = {
+  lowered : Lower.t;  (** pre-optimization netlist *)
+  aig : Aig.t;        (** optimized netlist *)
+  report : Map.report;
+}
+
+exception Self_check_failed of Equiv.mismatch
+
+val compile : ?options:options -> Cells.Library.t -> Rtl.Design.t -> result
+
+val area : result -> float
+(** Total mapped area, µm². *)

@@ -1,0 +1,25 @@
+(** Design-level partial evaluation.
+
+    The "Auto" step of the paper: once the generator knows the microcode
+    (table contents) and the mode pins, the flexible design specializes —
+    configuration memories become ROMs and mode inputs become constants.
+    Downstream, lowering + collapse fold everything away; no separate
+    optimizer is needed, which is the paper's thesis. *)
+
+val bind_tables : Rtl.Design.t -> (string * Bitvec.t array) list -> Rtl.Design.t
+(** Replace the storage of the named (typically [Config]) tables.
+    @raise Invalid_argument on geometry mismatch, [Not_found] on unknown
+    table. *)
+
+val bind_input : Rtl.Design.t -> string -> Bitvec.t -> Rtl.Design.t
+(** Substitute a constant for an input port everywhere and remove the port.
+    Annotations on the port are dropped.
+    @raise Not_found if no such input, [Invalid_argument] on width
+    mismatch. *)
+
+val specialize :
+  ?inputs:(string * Bitvec.t) list ->
+  ?tables:(string * Bitvec.t array) list ->
+  Rtl.Design.t ->
+  Rtl.Design.t
+(** Apply both binding kinds and revalidate. *)

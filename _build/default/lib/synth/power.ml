@@ -1,0 +1,81 @@
+type estimate = {
+  dynamic : float;
+  leakage : float;
+  toggles_per_cycle : float;
+}
+
+let total e = e.dynamic +. e.leakage
+
+(* Leakage per µm² — an arbitrary constant; only ratios matter. *)
+let leakage_per_area = 0.01
+
+let estimate ?(cycles = 256) ?(seed = 1) ?(config = []) lib g =
+  let report, instances = Map.run_full lib g in
+  let rng = Random.State.make [| 0x70777; seed |] in
+  let state = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      let _, init, _, _ = Aig.latch_info g n in
+      Hashtbl.replace state n init)
+    (Aig.latches g);
+  (* Program the configuration latches. *)
+  List.iter
+    (fun (tname, contents) ->
+      Array.iteri
+        (fun e word ->
+          Bitvec.fold_bits
+            (fun b v () ->
+              match Aig.find_latch g (Printf.sprintf "%s[%d][%d]" tname e b) with
+              | Some n -> Hashtbl.replace state n v
+              | None -> ())
+            word ())
+        contents)
+    config;
+  let prev = Hashtbl.create 256 in
+  let weighted = ref 0.0 in
+  let toggles = ref 0 in
+  let observe n v weight =
+    (match Hashtbl.find_opt prev n with
+     | Some old when old <> v ->
+       incr toggles;
+       weighted := !weighted +. weight
+     | Some _ -> ()
+     | None -> ());
+    Hashtbl.replace prev n v
+  in
+  for _cycle = 1 to cycles do
+    let inputs = Hashtbl.create 16 in
+    List.iter
+      (fun n -> Hashtbl.replace inputs n (Random.State.bool rng))
+      (Aig.pis g);
+    let read =
+      Aig.eval_all g ~pi:(Hashtbl.find inputs) ~latch:(Hashtbl.find state)
+    in
+    Hashtbl.iter
+      (fun n (inst : Map.instance) ->
+        observe n
+          (read (Aig.lit_of_node n false))
+          inst.Map.inst_cell.Cells.Cell.area)
+      instances;
+    List.iter
+      (fun n ->
+        let _, _, reset, is_config = Aig.latch_info g n in
+        let weight =
+          if is_config then 0.0 (* configuration bits never toggle *)
+          else (Cells.Library.flop lib reset).Cells.Cell.area
+        in
+        observe n (Hashtbl.find state n) weight)
+      (Aig.latches g);
+    List.iter
+      (fun n -> Hashtbl.replace state n (read (Aig.latch_next g n)))
+      (Aig.latches g)
+  done;
+  {
+    dynamic = !weighted /. float_of_int cycles;
+    leakage = leakage_per_area *. Map.total report;
+    toggles_per_cycle = float_of_int !toggles /. float_of_int cycles;
+  }
+
+let pp fmt e =
+  Format.fprintf fmt "power: dynamic %.1f + leakage %.1f = %.1f (%.1f toggles/cycle)"
+    e.dynamic e.leakage (total e) e.toggles_per_cycle

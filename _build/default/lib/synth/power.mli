@@ -1,0 +1,38 @@
+(** Activity-based power estimation.
+
+    The paper's Fig. 9 discussion reports "area and power savings"; this
+    module supplies the power half. The model is the standard first-order
+    one:
+
+    - dynamic power ∝ Σ over gates of (toggle rate × capacitance), with a
+      cell's input capacitance approximated by its area and toggle rates
+      measured by random-vector simulation of the mapped netlist
+      (registers toggle with their data, configuration bits never toggle);
+    - leakage ∝ total cell area.
+
+    Absolute units are arbitrary (the library is synthetic); like the area
+    numbers, only ratios between designs mapped with the same library are
+    meaningful. *)
+
+type estimate = {
+  dynamic : float;   (** activity-weighted, arbitrary units *)
+  leakage : float;   (** area-proportional, arbitrary units *)
+  toggles_per_cycle : float;  (** average net toggles per clock *)
+}
+
+val total : estimate -> float
+
+val estimate :
+  ?cycles:int ->
+  ?seed:int ->
+  ?config:(string * Bitvec.t array) list ->
+  Cells.Library.t ->
+  Aig.t ->
+  estimate
+(** Simulates [cycles] (default 256) random-input clock cycles from the
+    initial state. [config] loads configuration latches (named
+    ["table[entry][bit]"]) with real contents before simulating — without
+    it, a flexible design idles on all-zero microcode and its dynamic power
+    is meaninglessly low. *)
+
+val pp : Format.formatter -> estimate -> unit

@@ -1,0 +1,28 @@
+(** BDD-based sequential reachability of a register group.
+
+    Computes the set of values a named register vector can take, treating
+    all other sequential elements and the primary inputs as unconstrained —
+    a sound over-approximation, so any value reported unreachable really is
+    unreachable and may become a don't-care.
+
+    This is the "tool-side" way to find the unreachable states the paper's
+    *Manual* optimization removes; the generator-side way (walking the
+    microprogram/FSM IR) lives in {!Core} and the tests cross-check the
+    two. *)
+
+val latch_group : Aig.t -> prefix:string -> int array option
+(** Latch nodes named ["prefix[0]"], ["prefix[1]"], … (LSB first); [None]
+    if no such latches exist or indices are not contiguous from 0. *)
+
+val reachable_values :
+  ?max_vars:int ->
+  ?max_bdd:int ->
+  ?max_states:int ->
+  ?max_iters:int ->
+  Aig.t ->
+  group:int array ->
+  Bitvec.t list option
+(** Fixpoint image computation. [None] when an effort cap is exceeded
+    ([max_vars] BDD variables (default 64), [max_bdd] nodes per function
+    (default 200_000), [max_states] results (default 4096), [max_iters]
+    image steps (default 10_000)). *)

@@ -1,0 +1,83 @@
+(* One forward round: rebuild the graph; every AND whose fanins are both
+   movable latch outputs becomes a fresh latch. The new latch's next-state
+   is built from the *copied* next-state functions of its sources. *)
+
+let movable g l =
+  let n = Aig.node_of_lit l in
+  match Aig.kind g n with
+  | Aig.Latch ->
+    let _, _, reset, is_config = Aig.latch_info g n in
+    reset = Rtl.Design.No_reset && not is_config
+  | Aig.Const | Aig.Pi | Aig.And -> false
+
+let round serial g =
+  let moved = ref 0 in
+  let ng = Aig.create () in
+  let node_map : (int, Aig.lit) Hashtbl.t = Hashtbl.create 1024 in
+  Hashtbl.replace node_map 0 Aig.false_;
+  List.iter
+    (fun n -> Hashtbl.replace node_map n (Aig.pi ng (Aig.pi_name g n)))
+    (Aig.pis g);
+  List.iter
+    (fun n ->
+      let name, init, reset, is_config = Aig.latch_info g n in
+      Hashtbl.replace node_map n (Aig.latch ng name ~init ~reset ~is_config))
+    (Aig.latches g);
+  (* New latches created by the move, with their (old-graph) next literal to
+     connect at the end. *)
+  let pending : (Aig.lit * Aig.lit * Aig.lit) list ref = ref [] in
+  (* (new latch q, old d0, old d1) where d0/d1 are complement-adjusted
+     next-state literals of the source latches. *)
+  let rec copy_node n =
+    match Hashtbl.find_opt node_map n with
+    | Some l -> l
+    | None ->
+      let f0, f1 = Aig.fanins g n in
+      let l =
+        if movable g f0 && movable g f1 then begin
+          let source f =
+            let ln = Aig.node_of_lit f in
+            let _, init, _, _ = Aig.latch_info g ln in
+            let d = Aig.latch_next g ln in
+            let init = if Aig.is_complemented f then not init else init in
+            let d = if Aig.is_complemented f then Aig.not_ d else d in
+            (init, d)
+          in
+          let i0, d0 = source f0 and i1, d1 = source f1 in
+          incr moved;
+          let q =
+            Aig.latch ng
+              (Printf.sprintf "rt%d_%d" serial n)
+              ~init:(i0 && i1) ~reset:Rtl.Design.No_reset ~is_config:false
+          in
+          pending := (q, d0, d1) :: !pending;
+          q
+        end
+        else Aig.and_ ng (copy_lit f0) (copy_lit f1)
+      in
+      Hashtbl.replace node_map n l;
+      l
+  and copy_lit l =
+    let nl = copy_node (Aig.node_of_lit l) in
+    if Aig.is_complemented l then Aig.not_ nl else nl
+  in
+  List.iter (fun (name, l) -> Aig.po ng name (copy_lit l)) (Aig.pos g);
+  List.iter
+    (fun n ->
+      let q' = Hashtbl.find node_map n in
+      Aig.set_next ng q' (copy_lit (Aig.latch_next g n)))
+    (Aig.latches g);
+  List.iter (fun (q, d0, d1) -> Aig.set_next ng q (Aig.and_ ng (copy_lit d0) (copy_lit d1)))
+    !pending;
+  (!moved, ng)
+
+let run ?(max_rounds = 512) g =
+  let rec go i g =
+    if i >= max_rounds then g
+    else begin
+      let moved, g' = round i g in
+      let g' = Sweep.run g' in
+      if moved = 0 then g' else go (i + 1) g'
+    end
+  in
+  go 0 g

@@ -1,0 +1,117 @@
+type result =
+  | Equivalent
+  | Counterexample of string
+  | Gave_up of string
+
+exception Overflow
+
+let run ?(max_vars = 64) ?(max_bdd = 200_000) ?(max_iters = 10_000) ga gb =
+  let pi_names g = List.sort compare (List.map (Aig.pi_name g) (Aig.pis g)) in
+  let po_names g = List.sort compare (List.map fst (Aig.pos g)) in
+  if pi_names ga <> pi_names gb then
+    invalid_arg "Seq_check.run: input interfaces differ";
+  if po_names ga <> po_names gb then
+    invalid_arg "Seq_check.run: output interfaces differ";
+  let latches_a = Aig.latches ga and latches_b = Aig.latches gb in
+  let k = List.length latches_a + List.length latches_b in
+  if 2 * k >= max_vars then Gave_up "too many latches"
+  else begin
+    let man = Bdd.make_man () in
+    (* Vars: current state 0..k-1, next state k..2k-1, inputs 2k+. *)
+    let input_var = Hashtbl.create 16 in
+    let next_input = ref (2 * k) in
+    let var_of_input name =
+      match Hashtbl.find_opt input_var name with
+      | Some v -> v
+      | None ->
+        if !next_input >= max_vars then raise Overflow;
+        let v = !next_input in
+        incr next_input;
+        Hashtbl.replace input_var name v;
+        v
+    in
+    (* Per-graph node BDDs over (state vars, input vars). *)
+    let graph_env g latches offset =
+      let state_var = Hashtbl.create 16 in
+      List.iteri
+        (fun i n -> Hashtbl.replace state_var n (offset + i))
+        latches;
+      let cache = Hashtbl.create 256 in
+      let rec lit_bdd l =
+        let b = node_bdd (Aig.node_of_lit l) in
+        if Aig.is_complemented l then Bdd.not_ b else b
+      and node_bdd n =
+        match Hashtbl.find_opt cache n with
+        | Some b -> b
+        | None ->
+          let b =
+            match Aig.kind g n with
+            | Aig.Const -> Bdd.zero man
+            | Aig.Pi -> Bdd.var man (var_of_input (Aig.pi_name g n))
+            | Aig.Latch -> Bdd.var man (Hashtbl.find state_var n)
+            | Aig.And ->
+              let f0, f1 = Aig.fanins g n in
+              let b = Bdd.and_ (lit_bdd f0) (lit_bdd f1) in
+              if Bdd.size b > max_bdd then raise Overflow;
+              b
+          in
+          Hashtbl.replace cache n b;
+          b
+      in
+      lit_bdd
+    in
+    match
+      let lit_a = graph_env ga latches_a 0 in
+      let lit_b = graph_env gb latches_b (List.length latches_a) in
+      let all_latches =
+        List.map (fun n -> (ga, lit_a, n)) latches_a
+        @ List.map (fun n -> (gb, lit_b, n)) latches_b
+      in
+      let transition =
+        List.fold_left
+          (fun (i, acc) (g, lit, n) ->
+            let f = lit (Aig.latch_next g n) in
+            (i + 1, Bdd.and_ acc (Bdd.iff (Bdd.var man (k + i)) f)))
+          (0, Bdd.one man) all_latches
+        |> snd
+      in
+      if Bdd.size transition > max_bdd then raise Overflow;
+      let init =
+        List.fold_left
+          (fun (i, acc) (g, _, n) ->
+            let _, iv, _, _ = Aig.latch_info g n in
+            ( i + 1,
+              Bdd.and_ acc (if iv then Bdd.var man i else Bdd.nvar man i) ))
+          (0, Bdd.one man) all_latches
+        |> snd
+      in
+      let miters =
+        List.map
+          (fun (name, la) ->
+            let lb = List.assoc name (Aig.pos gb) in
+            (name, Bdd.xor (lit_a la) (lit_b lb)))
+          (Aig.pos ga)
+      in
+      let quantified =
+        List.init k Fun.id
+        @ List.init (!next_input - 2 * k) (fun j -> (2 * k) + j)
+      in
+      let image r =
+        let conj = Bdd.and_ transition r in
+        Bdd.rename (Bdd.exists quantified conj) (fun v -> v - k)
+      in
+      let rec fixpoint i r =
+        if i > max_iters then raise Overflow;
+        match
+          List.find_opt (fun (_, m) -> not (Bdd.is_zero (Bdd.and_ r m))) miters
+        with
+        | Some (name, _) -> Counterexample name
+        | None ->
+          let r' = Bdd.or_ r (image r) in
+          if Bdd.equal r r' then Equivalent else fixpoint (i + 1) r'
+      in
+      fixpoint 0 init
+    with
+    | r -> r
+    | exception Overflow -> Gave_up "BDD effort cap exceeded"
+  end

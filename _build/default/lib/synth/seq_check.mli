@@ -1,0 +1,18 @@
+(** Exact sequential equivalence by product-machine reachability.
+
+    Builds one BDD transition relation over the union of both netlists'
+    latches (inputs shared by name), computes the reachable state set from
+    the joint initial state, and checks that no reachable state/input
+    combination distinguishes any primary output. Unlike
+    {!Equiv.aig_vs_aig} this is a proof, not a falsifier — but only for
+    designs small enough for the BDD caps, which is exactly the size of the
+    unit-test designs it guards. *)
+
+type result =
+  | Equivalent
+  | Counterexample of string  (** name of a distinguishing output *)
+  | Gave_up of string
+
+val run : ?max_vars:int -> ?max_bdd:int -> ?max_iters:int -> Aig.t -> Aig.t -> result
+(** Both graphs must have the same PI and PO names.
+    @raise Invalid_argument if the interfaces differ. *)

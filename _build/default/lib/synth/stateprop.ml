@@ -1,0 +1,141 @@
+type replacement =
+  | Repl_const of bool
+  | Repl_node of int * bool  (* representative node, complement *)
+
+let run ?(max_vars = 64) ?(max_bdd = 50_000) ~annots g =
+  if annots = [] then g
+  else begin
+    let man = Bdd.make_man () in
+    let var_of_node : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    let next_var = ref 0 in
+    let assign n =
+      if not (Hashtbl.mem var_of_node n) then begin
+        Hashtbl.replace var_of_node n !next_var;
+        incr next_var
+      end
+    in
+    List.iter (fun (a : Annots.t) -> Array.iter assign a.nodes) annots;
+    let annot_var_count = !next_var in
+    (* Characteristic function of the allowed value combinations. *)
+    let chi =
+      let annot_chi (a : Annots.t) =
+        let minterm v =
+          Bitvec.fold_bits
+            (fun i b acc ->
+              let var = Hashtbl.find var_of_node a.nodes.(i) in
+              Bdd.and_ acc (if b then Bdd.var man var else Bdd.nvar man var))
+            v (Bdd.one man)
+        in
+        List.fold_left
+          (fun acc v -> Bdd.or_ acc (minterm v))
+          (Bdd.zero man) a.values
+      in
+      List.fold_left
+        (fun acc a -> Bdd.and_ acc (annot_chi a))
+        (Bdd.one man) annots
+    in
+    (* Bottom-up BDDs with effort caps. *)
+    let bdds : (int, Bdd.t option) Hashtbl.t = Hashtbl.create 1024 in
+    let leaf_bdd n =
+      match Hashtbl.find_opt var_of_node n with
+      | Some v -> Some (Bdd.var man v)
+      | None ->
+        if !next_var >= max_vars then None
+        else begin
+          assign n;
+          Some (Bdd.var man (Hashtbl.find var_of_node n))
+        end
+    in
+    let lit_bdd l =
+      let n = Aig.node_of_lit l in
+      let b = if n = 0 then Some (Bdd.zero man) else Hashtbl.find bdds n in
+      match b with
+      | Some b -> Some (if Aig.is_complemented l then Bdd.not_ b else b)
+      | None -> None
+    in
+    for n = 1 to Aig.num_nodes g - 1 do
+      let b =
+        match Aig.kind g n with
+        | Aig.Const -> Some (Bdd.zero man)
+        | Aig.Pi | Aig.Latch -> leaf_bdd n
+        | Aig.And ->
+          let f0, f1 = Aig.fanins g n in
+          (match lit_bdd f0, lit_bdd f1 with
+           | Some a, Some b ->
+             let r = Bdd.and_ a b in
+             if Bdd.size r > max_bdd then None else Some r
+           | None, _ | _, None -> None)
+      in
+      Hashtbl.replace bdds n b
+    done;
+    (* Classify nodes under the constraint. *)
+    let replacements : (int, replacement) Hashtbl.t = Hashtbl.create 64 in
+    let class_reps : (int, int * bool) Hashtbl.t = Hashtbl.create 64 in
+    for n = 1 to Aig.num_nodes g - 1 do
+      if Aig.kind g n = Aig.And then
+        match Hashtbl.find bdds n with
+        | None -> ()
+        | Some b ->
+          let touches_annot =
+            List.exists (fun v -> v < annot_var_count) (Bdd.support b)
+          in
+          if touches_annot then begin
+            let c = Bdd.constrain b chi in
+            if Bdd.is_zero c then
+              Hashtbl.replace replacements n (Repl_const false)
+            else if Bdd.is_one c then
+              Hashtbl.replace replacements n (Repl_const true)
+            else begin
+              let cn = Bdd.not_ c in
+              let key, phase =
+                if Bdd.uid c <= Bdd.uid cn then (Bdd.uid c, false)
+                else (Bdd.uid cn, true)
+              in
+              match Hashtbl.find_opt class_reps key with
+              | None -> Hashtbl.replace class_reps key (n, phase)
+              | Some (rep, rep_phase) ->
+                Hashtbl.replace replacements n
+                  (Repl_node (rep, phase <> rep_phase))
+            end
+          end
+    done;
+    (* Rebuild with substitutions. *)
+    let ng = Aig.create () in
+    let node_map : (int, Aig.lit) Hashtbl.t = Hashtbl.create 1024 in
+    Hashtbl.replace node_map 0 Aig.false_;
+    List.iter
+      (fun n -> Hashtbl.replace node_map n (Aig.pi ng (Aig.pi_name g n)))
+      (Aig.pis g);
+    List.iter
+      (fun n ->
+        let name, init, reset, is_config = Aig.latch_info g n in
+        Hashtbl.replace node_map n (Aig.latch ng name ~init ~reset ~is_config))
+      (Aig.latches g);
+    let rec copy_node n =
+      match Hashtbl.find_opt node_map n with
+      | Some l -> l
+      | None ->
+        let l =
+          match Hashtbl.find_opt replacements n with
+          | Some (Repl_const v) -> if v then Aig.true_ else Aig.false_
+          | Some (Repl_node (rep, compl)) ->
+            let rl = copy_node rep in
+            if compl then Aig.not_ rl else rl
+          | None ->
+            let f0, f1 = Aig.fanins g n in
+            Aig.and_ ng (copy_lit f0) (copy_lit f1)
+        in
+        Hashtbl.replace node_map n l;
+        l
+    and copy_lit l =
+      let nl = copy_node (Aig.node_of_lit l) in
+      if Aig.is_complemented l then Aig.not_ nl else nl
+    in
+    List.iter (fun (name, l) -> Aig.po ng name (copy_lit l)) (Aig.pos g);
+    List.iter
+      (fun n ->
+        let q' = Hashtbl.find node_map n in
+        Aig.set_next ng q' (copy_lit (Aig.latch_next g n)))
+      (Aig.latches g);
+    ng
+  end

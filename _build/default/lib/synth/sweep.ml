@@ -1,0 +1,161 @@
+let run_once g =
+  (* Fixpoint: which (non-config) latches are provably constant? *)
+  let known : (int, bool) Hashtbl.t = Hashtbl.create 16 in
+  let rec const_of_lit memo l =
+    let n = Aig.node_of_lit l in
+    let v =
+      match Aig.kind g n with
+      | Aig.Const -> Some false
+      | Aig.Pi -> None
+      | Aig.Latch -> Hashtbl.find_opt known n
+      | Aig.And ->
+        (match Hashtbl.find_opt memo n with
+         | Some v -> v
+         | None ->
+           let f0, f1 = Aig.fanins g n in
+           let a = const_of_lit memo f0 and b = const_of_lit memo f1 in
+           let v =
+             match a, b with
+             | Some false, _ | _, Some false -> Some false
+             | Some true, Some true -> Some true
+             | Some true, None | None, Some true | None, None -> None
+           in
+           Hashtbl.replace memo n v;
+           v)
+    in
+    match v with
+    | Some v -> Some (if Aig.is_complemented l then not v else v)
+    | None -> None
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let memo = Hashtbl.create 256 in
+    List.iter
+      (fun n ->
+        let _, init, _, is_config = Aig.latch_info g n in
+        if (not is_config) && not (Hashtbl.mem known n) then begin
+          let d = Aig.latch_next g n in
+          let folds =
+            if d = Aig.lit_of_node n false then true (* self-hold *)
+            else
+              match const_of_lit memo d with
+              | Some v -> v = init
+              | None -> false
+          in
+          if folds then begin
+            Hashtbl.replace known n init;
+            changed := true
+          end
+        end)
+      (Aig.latches g)
+  done;
+  (* Merge duplicate latches (same next literal, init, reset). *)
+  let representative : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let by_signature = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      let _, init, reset, is_config = Aig.latch_info g n in
+      if (not is_config) && not (Hashtbl.mem known n) then begin
+        let signature = (Aig.latch_next g n, init, reset) in
+        match Hashtbl.find_opt by_signature signature with
+        | Some rep -> Hashtbl.replace representative n rep
+        | None -> Hashtbl.replace by_signature signature n
+      end)
+    (Aig.latches g);
+  (* Which latches are live (reachable from the POs)? *)
+  let live = Hashtbl.create 16 in
+  let resolve n =
+    match Hashtbl.find_opt representative n with Some r -> r | None -> n
+  in
+  let frontier = ref [] in
+  let mark_roots roots =
+    let leaves, _ = Aig.cone g roots in
+    List.iter
+      (fun n ->
+        if Aig.kind g n = Aig.Latch && not (Hashtbl.mem known n) then begin
+          let n = resolve n in
+          if not (Hashtbl.mem live n) then begin
+            Hashtbl.replace live n ();
+            frontier := n :: !frontier
+          end
+        end)
+      leaves
+  in
+  mark_roots (List.map snd (Aig.pos g));
+  let rec drain () =
+    match !frontier with
+    | [] -> ()
+    | n :: rest ->
+      frontier := rest;
+      mark_roots [ Aig.latch_next g n ];
+      drain ()
+  in
+  drain ();
+  (* Rebuild. *)
+  let ng = Aig.create () in
+  let node_map : (int, Aig.lit) Hashtbl.t = Hashtbl.create 1024 in
+  Hashtbl.replace node_map 0 Aig.false_;
+  List.iter
+    (fun n -> Hashtbl.replace node_map n (Aig.pi ng (Aig.pi_name g n)))
+    (Aig.pis g);
+  List.iter
+    (fun n ->
+      if Hashtbl.mem live n && not (Hashtbl.mem representative n) then begin
+        let name, init, reset, is_config = Aig.latch_info g n in
+        Hashtbl.replace node_map n (Aig.latch ng name ~init ~reset ~is_config)
+      end)
+    (Aig.latches g);
+  let rec copy_lit l =
+    let n = Aig.node_of_lit l in
+    let nl = copy_node n in
+    if Aig.is_complemented l then Aig.not_ nl else nl
+  and copy_node n =
+    match Hashtbl.find_opt node_map n with
+    | Some l -> l
+    | None ->
+      let l =
+        match Aig.kind g n with
+        | Aig.Const -> Aig.false_
+        | Aig.Pi -> assert false
+        | Aig.Latch ->
+          (match Hashtbl.find_opt known n with
+           | Some v -> if v then Aig.true_ else Aig.false_
+           | None ->
+             let rep = resolve n in
+             if rep <> n then copy_node rep
+             else
+               (* A dead latch referenced nowhere live; give it a node anyway
+                  to keep copying total. *)
+               let name, init, reset, is_config = Aig.latch_info g n in
+               Aig.latch ng name ~init ~reset ~is_config)
+        | Aig.And ->
+          let f0, f1 = Aig.fanins g n in
+          Aig.and_ ng (copy_lit f0) (copy_lit f1)
+      in
+      Hashtbl.replace node_map n l;
+      l
+  in
+  List.iter (fun (name, l) -> Aig.po ng name (copy_lit l)) (Aig.pos g);
+  List.iter
+    (fun n ->
+      if Hashtbl.mem live n && not (Hashtbl.mem representative n) then begin
+        let q' = Hashtbl.find node_map n in
+        Aig.set_next ng q' (copy_lit (Aig.latch_next g n))
+      end)
+    (Aig.latches g);
+  ng
+
+(* Merging can expose new constants and dangling latches; iterate until the
+   graph stops shrinking. *)
+let run g =
+  let rec go i g =
+    if i > 8 then g
+    else begin
+      let g' = run_once g in
+      if Aig.num_latches g' = Aig.num_latches g && Aig.num_ands g' = Aig.num_ands g
+      then g'
+      else go (i + 1) g'
+    end
+  in
+  go 0 g

@@ -1,0 +1,1 @@
+lib/twolevel/cover.ml: Cube Format List Stdlib Truthfn

@@ -1,0 +1,1 @@
+lib/twolevel/cover.mli: Cube Format Truthfn

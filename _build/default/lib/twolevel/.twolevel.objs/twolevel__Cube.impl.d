@@ -1,0 +1,1 @@
+lib/twolevel/cube.ml: Array Format Fun List Seq Stdlib

@@ -1,0 +1,1 @@
+lib/twolevel/espresso.ml: Array Cover Cube Fun List Stdlib Truthfn

@@ -1,0 +1,1 @@
+lib/twolevel/espresso.mli: Cover Cube Truthfn

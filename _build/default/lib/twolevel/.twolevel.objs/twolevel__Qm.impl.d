@@ -1,0 +1,1 @@
+lib/twolevel/qm.ml: Array Cover Cube Fun Hashtbl List Option Set Truthfn

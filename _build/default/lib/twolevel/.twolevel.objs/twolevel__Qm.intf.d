@@ -1,0 +1,1 @@
+lib/twolevel/qm.mli: Cover Cube Truthfn

@@ -1,0 +1,1 @@
+lib/twolevel/truthfn.ml: Bytes Cube Format Fun List

@@ -1,0 +1,1 @@
+lib/twolevel/truthfn.mli: Cube Format

@@ -1,0 +1,1 @@
+lib/ucpu/control.mli: Core

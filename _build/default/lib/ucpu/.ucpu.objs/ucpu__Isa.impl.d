@@ -1,0 +1,1 @@
+lib/ucpu/isa.ml: Array Bitvec List

@@ -1,0 +1,1 @@
+lib/ucpu/isa.mli: Bitvec

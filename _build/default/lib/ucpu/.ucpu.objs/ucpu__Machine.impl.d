@@ -1,0 +1,1 @@
+lib/ucpu/machine.ml: Array Bitvec Control Core Isa List Printf Rtl Synth

@@ -1,0 +1,1 @@
+lib/ucpu/machine.mli: Bitvec Rtl

@@ -1,0 +1,55 @@
+let f_ir_ld = "ir_ld"
+let f_pc_inc = "pc_inc"
+let f_pc_load = "pc_load"
+let f_pc_cond = "pc_cond"
+let f_acc_ld = "acc_ld"
+let f_acc_op = "acc_op"
+let f_mem_we = "mem_we"
+
+let alu_load = 0
+let alu_add = 1
+let alu_sub = 2
+let alu_and = 3
+let alu_imm = 4
+
+let field fname fwidth = { Core.Microcode.fname; fwidth; onehot = false }
+
+let fields =
+  [
+    field f_ir_ld 1; field f_pc_inc 1; field f_pc_load 1; field f_pc_cond 1;
+    field f_acc_ld 1; field f_acc_op 3; field f_mem_we 1;
+  ]
+
+open Core.Ctrl_spec
+
+let fetch = Emit [ (f_ir_ld, 1); (f_pc_inc, 1) ]
+
+let handler_with work = Seq [ work; fetch; Done ]
+
+let spec ~name ~sub_op =
+  {
+    name;
+    fields;
+    opcode_bits = 3;
+    handlers =
+      [
+        (Isa.opcode (Isa.Ldi 0),
+         handler_with (Emit [ (f_acc_ld, 1); (f_acc_op, alu_imm) ]));
+        (Isa.opcode (Isa.Lda 0),
+         handler_with (Emit [ (f_acc_ld, 1); (f_acc_op, alu_load) ]));
+        (Isa.opcode (Isa.Sta 0), handler_with (Emit [ (f_mem_we, 1) ]));
+        (Isa.opcode (Isa.Add 0),
+         handler_with (Emit [ (f_acc_ld, 1); (f_acc_op, alu_add) ]));
+        (Isa.opcode (Isa.Sub 0),
+         handler_with (Emit [ (f_acc_ld, 1); (f_acc_op, sub_op) ]));
+        (Isa.opcode (Isa.Jmp 0), handler_with (Emit [ (f_pc_load, 1) ]));
+        (Isa.opcode (Isa.Jnz 0),
+         handler_with (Emit [ (f_pc_load, 1); (f_pc_cond, 1) ]));
+        (* HLT: spin on the dispatch point with nothing asserted. *)
+        (Isa.opcode Isa.Hlt, Done);
+      ];
+  }
+
+let program = compile (spec ~name:"uctl" ~sub_op:alu_sub)
+
+let patched_program = compile (spec ~name:"uctl" ~sub_op:alu_and)

@@ -1,0 +1,101 @@
+type instruction =
+  | Ldi of int
+  | Lda of int
+  | Sta of int
+  | Add of int
+  | Sub of int
+  | Jmp of int
+  | Jnz of int
+  | Hlt
+
+let opcode = function
+  | Ldi _ -> 0
+  | Lda _ -> 1
+  | Sta _ -> 2
+  | Add _ -> 3
+  | Sub _ -> 4
+  | Jmp _ -> 5
+  | Jnz _ -> 6
+  | Hlt -> 7
+
+let operand = function
+  | Hlt -> 0
+  | Ldi a | Lda a | Sta a | Add a | Sub a | Jmp a | Jnz a -> a
+
+let encode i =
+  let a = operand i in
+  if a < 0 || a > 31 then invalid_arg "Isa.encode: operand out of range";
+  Bitvec.of_int ~width:8 ((opcode i lsl 5) lor a)
+
+let decode v =
+  let w = Bitvec.to_int v in
+  let a = w land 31 in
+  match w lsr 5 with
+  | 0 -> Ldi a
+  | 1 -> Lda a
+  | 2 -> Sta a
+  | 3 -> Add a
+  | 4 -> Sub a
+  | 5 -> Jmp a
+  | 6 -> Jnz a
+  | _ -> Hlt
+
+let assemble instrs =
+  if List.length instrs > 32 then invalid_arg "Isa.assemble: program too long";
+  Array.init 32 (fun i ->
+      match List.nth_opt instrs i with
+      | Some instr -> encode instr
+      | None -> encode (Ldi 0))
+
+type state = {
+  pc : int;
+  acc : int;
+  mem : int array;
+  halted : bool;
+}
+
+let initial = { pc = 0; acc = 0; mem = Array.make 32 0; halted = false }
+
+let interp_step ~program st =
+  if st.halted then st
+  else begin
+    let instr = decode program.(st.pc) in
+    let next_pc = (st.pc + 1) land 31 in
+    match instr with
+    | Ldi a -> { st with pc = next_pc; acc = a }
+    | Lda a -> { st with pc = next_pc; acc = st.mem.(a) }
+    | Sta a ->
+      let mem = Array.copy st.mem in
+      mem.(a) <- st.acc;
+      { st with pc = next_pc; mem }
+    | Add a -> { st with pc = next_pc; acc = (st.acc + st.mem.(a)) land 255 }
+    | Sub a -> { st with pc = next_pc; acc = (st.acc - st.mem.(a)) land 255 }
+    | Jmp a -> { st with pc = a }
+    | Jnz a -> { st with pc = (if st.acc <> 0 then a else next_pc) }
+    | Hlt -> { st with halted = true }
+  end
+
+let run ?(max_steps = 10_000) ~program () =
+  let rec go st steps =
+    if st.halted || steps >= max_steps then st
+    else go (interp_step ~program st) (steps + 1)
+  in
+  go initial 0
+
+(* The constant 1 lives in m4; patch the bootstrap to write it. *)
+let fib_program n =
+  if n < 1 || n > 31 then invalid_arg "Isa.fib_program";
+  assemble
+    [
+      Ldi 0; Sta 0;        (* 0,1: a = 0 *)
+      Ldi 1; Sta 1;        (* 2,3: b = 1 *)
+      Sta 4;               (* 4:   one = 1 *)
+      Ldi n; Sta 2;        (* 5,6: n *)
+      (* loop head = 7 *)
+      Lda 0; Add 1; Sta 3; (* 7-9: t = a + b *)
+      Lda 1; Sta 0;        (* 10,11: a = b *)
+      Lda 3; Sta 1;        (* 12,13: b = t *)
+      Lda 2; Sub 4; Sta 2; (* 14-16: n -= 1 *)
+      Jnz 7;               (* 17 *)
+      Lda 0; Hlt;          (* 18,19 *)
+    ]

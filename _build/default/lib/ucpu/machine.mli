@@ -1,0 +1,32 @@
+(** The µCPU top level: microcoded control unit + accumulator datapath.
+
+    Structure: the {!Control} sequencer (flexible configuration memories or
+    bound ROMs), an 8-bit accumulator with a 4-function ALU, a 5-bit program
+    counter, a 32-byte register-file data memory, and a 32-byte program
+    store baked in as a ROM. Ports: no inputs (the machine free-runs its
+    program); outputs [acc] (8), [pc] (5), [halted] (1).
+
+    Data-memory registers are named ["m0" … "m31"], so tests can observe
+    memory with {!Rtl.Eval.peek}. *)
+
+val full : program:Bitvec.t array -> Rtl.Design.t
+(** Control store and dispatch table as configuration memories. *)
+
+val control_bindings :
+  ?patched:bool -> unit -> (string * Bitvec.t array) list
+(** Microcode contents (composed names) for partial evaluation of {!full};
+    [patched] selects {!Control.patched_program}. *)
+
+val specialized : ?patched:bool -> program:Bitvec.t array -> unit -> Rtl.Design.t
+(** {!full} with the control store bound — what the generator tapes out
+    when the ISA is frozen. *)
+
+val run_rtl :
+  ?max_cycles:int ->
+  ?config:(string * Bitvec.t array) list ->
+  Rtl.Design.t ->
+  Rtl.Eval.state * int
+(** Simulate until [halted] (or [max_cycles], default 2000); returns the
+    evaluator (for peeking at [acc]/[pc]/["m<i>"]) and the cycle count.
+    Pass {!control_bindings} as [config] when running the flexible
+    design. *)

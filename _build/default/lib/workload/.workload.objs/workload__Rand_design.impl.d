@@ -1,0 +1,1 @@
+lib/workload/rand_design.ml: Array Hashtbl List Printf Rng Rtl

@@ -1,0 +1,1 @@
+lib/workload/rand_design.mli: Rtl

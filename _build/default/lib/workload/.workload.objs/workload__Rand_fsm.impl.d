@@ -1,0 +1,1 @@
+lib/workload/rand_fsm.ml: Array Core Fun Hashtbl List Printf Rng

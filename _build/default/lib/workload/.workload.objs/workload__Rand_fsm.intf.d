@@ -1,0 +1,1 @@
+lib/workload/rand_fsm.mli: Core

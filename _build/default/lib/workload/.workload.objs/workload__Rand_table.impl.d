@@ -1,0 +1,1 @@
+lib/workload/rand_table.ml: Core Hashtbl List Printf Rng

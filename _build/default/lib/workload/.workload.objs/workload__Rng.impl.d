@@ -1,0 +1,1 @@
+lib/workload/rng.ml: Bitvec Hashtbl List Random

@@ -1,0 +1,42 @@
+let generate ~seed ~num_inputs ~num_outputs ~num_states =
+  let rng = Rng.make (Hashtbl.hash ("fsm", seed, num_inputs, num_outputs, num_states)) in
+  let states = Array.init num_states (Printf.sprintf "s%d") in
+  let cols = 1 lsl num_inputs in
+  let per_state s =
+    let srng = Rng.split rng (Printf.sprintf "state%d" s) in
+    let active =
+      Rng.subset srng ~size:(Rng.int srng 3) (List.init num_inputs Fun.id)
+    in
+    let key_of i =
+      List.fold_left
+        (fun (acc, bit) b ->
+          ((if i lsr b land 1 = 1 then acc lor (1 lsl bit) else acc), bit + 1))
+        (0, 0) active
+      |> fst
+    in
+    let nkeys = 1 lsl List.length active in
+    let next_by_key = Array.init nkeys (fun _ -> Rng.int srng num_states) in
+    let out_by_key =
+      Array.init nkeys (fun _ -> Rng.bitvec srng ~width:num_outputs)
+    in
+    ( Array.init cols (fun i -> next_by_key.(key_of i)),
+      Array.init cols (fun i -> out_by_key.(key_of i)) )
+  in
+  let rows = Array.init num_states per_state in
+  Core.Fsm_ir.make
+    ~name:(Printf.sprintf "fsm_m%d_n%d_s%d_%d" num_inputs num_outputs num_states seed)
+    ~num_inputs ~num_outputs ~states ~reset:0
+    ~next:(Array.map fst rows)
+    ~out:(Array.map snd rows)
+
+let paper_inputs = [ 2; 8 ]
+let paper_outputs = [ 2; 8; 16 ]
+let paper_states = [ 2; 3; 8; 16; 17 ]
+
+let paper_grid =
+  List.concat_map
+    (fun m ->
+      List.concat_map
+        (fun n -> List.map (fun s -> (m, n, s)) paper_states)
+        paper_outputs)
+    paper_inputs

@@ -1,0 +1,12 @@
+let generate ~seed ~depth ~width =
+  let rng = Rng.make (Hashtbl.hash ("table", seed, depth, width)) in
+  Core.Truth_table.of_fun
+    ~name:(Printf.sprintf "t%dx%d_s%d" depth width seed)
+    ~width ~depth
+    (fun _ -> Rng.bitvec rng ~width)
+
+let paper_depths = [ 2; 8; 16; 32; 64; 256; 1024 ]
+let paper_widths = [ 2; 4; 16; 32; 64 ]
+
+let paper_grid =
+  List.concat_map (fun d -> List.map (fun w -> (d, w)) paper_widths) paper_depths

@@ -1,0 +1,26 @@
+type t = { seed : int; state : Random.State.t }
+
+let make seed = { seed; state = Random.State.make [| 0x5eed; seed |] }
+
+let split t name =
+  let child = Hashtbl.hash (t.seed, name) in
+  { seed = child; state = Random.State.make [| 0x5eed; child |] }
+
+let int t bound = Random.State.int t.state bound
+let bool t = Random.State.bool t.state
+
+let bitvec t ~width = Bitvec.of_bits (List.init width (fun _ -> bool t))
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let subset t ~size l =
+  let rec go acc pool k =
+    if k = 0 || pool = [] then List.rev acc
+    else begin
+      let x = pick t pool in
+      go (x :: acc) (List.filter (fun y -> y <> x) pool) (k - 1)
+    end
+  in
+  go [] l (min size (List.length l))

@@ -1,0 +1,26 @@
+(** Deterministic, splittable random source for workload generation.
+
+    Replaces the paper's Python scripts: every random design is a pure
+    function of an integer seed, so sweeps are reproducible and
+    paper-figure regeneration is stable across runs. *)
+
+type t
+
+val make : int -> t
+
+val split : t -> string -> t
+(** An independent stream derived from a name — children with different
+    names (or parents) never share state. *)
+
+val int : t -> int -> int
+(** [int t bound] — uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val bitvec : t -> width:int -> Bitvec.t
+
+val pick : t -> 'a list -> 'a
+(** @raise Invalid_argument on an empty list. *)
+
+val subset : t -> size:int -> 'a list -> 'a list
+(** A random subset of at most [size] distinct elements. *)

@@ -1,0 +1,1 @@
+test/test_aig.ml: Aig Alcotest Array Fmt List Printf QCheck QCheck_alcotest Random Rtl

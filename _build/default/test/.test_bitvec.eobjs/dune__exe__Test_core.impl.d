@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bitvec Core List Random Rtl Seq Workload

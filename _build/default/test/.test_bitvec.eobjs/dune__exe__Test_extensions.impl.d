@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Bitvec Cells Core Experiments List Pctrl Printf Random Rtl Synth Workload

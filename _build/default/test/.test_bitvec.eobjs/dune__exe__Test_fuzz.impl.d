@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Aig Alcotest Cells List Printf QCheck QCheck_alcotest Rtl String Synth Workload

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Bitvec Cells Core List Printf Rtl Synth Workload

@@ -1,0 +1,1 @@
+test/test_io.ml: Aig Alcotest Bitvec Core List Printf QCheck QCheck_alcotest Rtl String Synth Workload

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Cells Core List Printf Report Rtl String Synth Workload

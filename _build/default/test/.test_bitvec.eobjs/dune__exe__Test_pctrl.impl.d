@@ -1,0 +1,1 @@
+test/test_pctrl.ml: Alcotest Bitvec Cells Core Fun List Pctrl Rtl Synth

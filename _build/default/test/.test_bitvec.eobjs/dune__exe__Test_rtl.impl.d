@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Array Bitvec List Rtl String

@@ -1,0 +1,1 @@
+test/test_synth.ml: Aig Alcotest Bitvec Cells Core Experiments List Option Random Rtl Synth Workload

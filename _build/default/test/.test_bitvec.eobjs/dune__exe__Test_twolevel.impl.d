@@ -1,0 +1,1 @@
+test/test_twolevel.ml: Alcotest List Printf QCheck QCheck_alcotest Random Twolevel

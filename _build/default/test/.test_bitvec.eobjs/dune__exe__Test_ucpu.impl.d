@@ -1,0 +1,1 @@
+test/test_ucpu.ml: Alcotest Array Bitvec Cells Core Fun List Printf QCheck QCheck_alcotest Rtl String Synth Ucpu

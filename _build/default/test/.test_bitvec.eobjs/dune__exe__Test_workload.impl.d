@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Bitvec Core Fun List Printf Workload

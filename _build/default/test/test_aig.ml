@@ -1,0 +1,143 @@
+let lit = Alcotest.testable (Fmt.of_to_string (fun (l : Aig.lit) -> string_of_int (l :> int)))
+    (fun a b -> a = b)
+
+let test_strash_rules () =
+  let g = Aig.create () in
+  let a = Aig.pi g "a" and b = Aig.pi g "b" in
+  Alcotest.check lit "and(x,0)=0" Aig.false_ (Aig.and_ g a Aig.false_);
+  Alcotest.check lit "and(x,1)=x" a (Aig.and_ g a Aig.true_);
+  Alcotest.check lit "and(x,x)=x" a (Aig.and_ g a a);
+  Alcotest.check lit "and(x,~x)=0" Aig.false_ (Aig.and_ g a (Aig.not_ a));
+  let n1 = Aig.and_ g a b in
+  let n2 = Aig.and_ g b a in
+  Alcotest.check lit "commutative sharing" n1 n2;
+  Alcotest.(check int) "single node" 1 (Aig.num_ands g)
+
+let test_gates_semantics () =
+  let g = Aig.create () in
+  let a = Aig.pi g "a" and b = Aig.pi g "b" and c = Aig.pi g "c" in
+  let xor_ab = Aig.xor_ g a b in
+  let mux = Aig.mux_ g a b c in
+  let or_ab = Aig.or_ g a b in
+  let cases = [ (false, false); (false, true); (true, false); (true, true) ] in
+  List.iter
+    (fun (va, vb) ->
+      List.iter
+        (fun vc ->
+          let pi n =
+            match Aig.pi_name g n with
+            | "a" -> va
+            | "b" -> vb
+            | "c" -> vc
+            | _ -> assert false
+          in
+          let read = Aig.eval_all g ~pi ~latch:(fun _ -> false) in
+          Alcotest.(check bool) "xor" (va <> vb) (read xor_ab);
+          Alcotest.(check bool) "or" (va || vb) (read or_ab);
+          Alcotest.(check bool) "mux" (if va then vb else vc) (read mux))
+        [ false; true ])
+    cases
+
+let test_and_list_balanced () =
+  let g = Aig.create () in
+  let pis = List.init 16 (fun i -> Aig.pi g (Printf.sprintf "x%d" i)) in
+  let all = Aig.and_list g pis in
+  let levels = Aig.levels g in
+  Alcotest.(check int) "log depth" 4 (levels (Aig.node_of_lit all));
+  Alcotest.check lit "empty list is true" Aig.true_ (Aig.and_list g []);
+  Alcotest.check lit "or of none is false" Aig.false_ (Aig.or_list g [])
+
+let test_latches () =
+  let g = Aig.create () in
+  let q = Aig.latch g "q" ~init:false ~reset:Rtl.Design.Sync_reset ~is_config:false in
+  let d = Aig.not_ q in
+  Aig.set_next g q d;
+  Alcotest.(check int) "latch count" 1 (Aig.num_latches g);
+  Alcotest.check lit "next" d (Aig.latch_next g (Aig.node_of_lit q));
+  let name, init, reset, is_config = Aig.latch_info g (Aig.node_of_lit q) in
+  Alcotest.(check string) "name" "q" name;
+  Alcotest.(check bool) "init" false init;
+  Alcotest.(check bool) "reset kind" true (reset = Rtl.Design.Sync_reset);
+  Alcotest.(check bool) "not config" false is_config;
+  Alcotest.(check bool) "find_latch" true (Aig.find_latch g "q" = Some (Aig.node_of_lit q))
+
+let test_cone () =
+  let g = Aig.create () in
+  let a = Aig.pi g "a" and b = Aig.pi g "b" and c = Aig.pi g "c" in
+  let ab = Aig.and_ g a b in
+  let abc = Aig.and_ g ab c in
+  let leaves, nodes = Aig.cone g [ abc ] in
+  Alcotest.(check int) "3 leaves" 3 (List.length leaves);
+  Alcotest.(check int) "2 internal" 2 (List.length nodes);
+  (* Topological: ab before abc. *)
+  Alcotest.(check (list int)) "topo order"
+    [ Aig.node_of_lit ab; Aig.node_of_lit abc ]
+    nodes
+
+let test_fanout () =
+  let g = Aig.create () in
+  let a = Aig.pi g "a" and b = Aig.pi g "b" in
+  let ab = Aig.and_ g a b in
+  let x = Aig.and_ g ab (Aig.not_ a) in
+  Aig.po g "x" x;
+  Aig.po g "ab" ab;
+  let fo = Aig.fanout_counts g in
+  Alcotest.(check int) "a used twice" 2 fo.(Aig.node_of_lit a);
+  Alcotest.(check int) "ab used twice" 2 fo.(Aig.node_of_lit ab)
+
+let prop_strash_never_duplicates =
+  (* Random construction: building the same expression twice yields the
+     same literal, and the node count does not grow. *)
+  let arb = QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 10_000) in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"rebuilding is free" arb (fun seed ->
+         let rng = Random.State.make [| seed |] in
+         let g = Aig.create () in
+         let pis = Array.init 4 (fun i -> Aig.pi g (Printf.sprintf "x%d" i)) in
+         let rec build depth =
+           if depth = 0 then begin
+             let l = pis.(Random.State.int rng 4) in
+             if Random.State.bool rng then Aig.not_ l else l
+           end
+           else begin
+             let a = build (depth - 1) and b = build (depth - 1) in
+             match Random.State.int rng 3 with
+             | 0 -> Aig.and_ g a b
+             | 1 -> Aig.or_ g a b
+             | _ -> Aig.xor_ g a b
+           end
+         in
+         let rng_copy = Random.State.copy rng in
+         let l1 = build 4 in
+         let count1 = Aig.num_ands g in
+         (* Replay the same random choices. *)
+         let rec build2 rng depth =
+           if depth = 0 then begin
+             let l = pis.(Random.State.int rng 4) in
+             if Random.State.bool rng then Aig.not_ l else l
+           end
+           else begin
+             let a = build2 rng (depth - 1) and b = build2 rng (depth - 1) in
+             match Random.State.int rng 3 with
+             | 0 -> Aig.and_ g a b
+             | 1 -> Aig.or_ g a b
+             | _ -> Aig.xor_ g a b
+           end
+         in
+         let l2 = build2 rng_copy 4 in
+         l1 = l2 && Aig.num_ands g = count1))
+
+let () =
+  Alcotest.run "aig"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "strash rules" `Quick test_strash_rules;
+          Alcotest.test_case "gate semantics" `Quick test_gates_semantics;
+          Alcotest.test_case "balanced reduction" `Quick test_and_list_balanced;
+          Alcotest.test_case "latches" `Quick test_latches;
+          Alcotest.test_case "cones" `Quick test_cone;
+          Alcotest.test_case "fanout counts" `Quick test_fanout;
+        ] );
+      ("properties", [ prop_strash_never_duplicates ]);
+    ]

@@ -1,0 +1,173 @@
+(* BDD semantics are checked against a brute-force evaluator over random
+   boolean expression trees. *)
+
+type expr =
+  | Var of int
+  | Const of bool
+  | Not of expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Xor of expr * expr
+  | Ite of expr * expr * expr
+
+let rec eval_expr env = function
+  | Var i -> env i
+  | Const b -> b
+  | Not a -> not (eval_expr env a)
+  | And (a, b) -> eval_expr env a && eval_expr env b
+  | Or (a, b) -> eval_expr env a || eval_expr env b
+  | Xor (a, b) -> eval_expr env a <> eval_expr env b
+  | Ite (c, a, b) -> if eval_expr env c then eval_expr env a else eval_expr env b
+
+let rec to_bdd m = function
+  | Var i -> Bdd.var m i
+  | Const true -> Bdd.one m
+  | Const false -> Bdd.zero m
+  | Not a -> Bdd.not_ (to_bdd m a)
+  | And (a, b) -> Bdd.and_ (to_bdd m a) (to_bdd m b)
+  | Or (a, b) -> Bdd.or_ (to_bdd m a) (to_bdd m b)
+  | Xor (a, b) -> Bdd.xor (to_bdd m a) (to_bdd m b)
+  | Ite (c, a, b) -> Bdd.ite (to_bdd m c) (to_bdd m a) (to_bdd m b)
+
+let nvars = 6
+
+let gen_expr =
+  QCheck.Gen.(
+    sized @@ fix (fun self size ->
+        if size <= 1 then
+          oneof [ map (fun i -> Var i) (0 -- (nvars - 1)); map (fun b -> Const b) bool ]
+        else
+          let sub = self (size / 2) in
+          oneof
+            [
+              map (fun a -> Not a) sub;
+              map2 (fun a b -> And (a, b)) sub sub;
+              map2 (fun a b -> Or (a, b)) sub sub;
+              map2 (fun a b -> Xor (a, b)) sub sub;
+              map3 (fun c a b -> Ite (c, a, b)) sub sub sub;
+            ]))
+
+let rec print_expr = function
+  | Var i -> Printf.sprintf "x%d" i
+  | Const b -> string_of_bool b
+  | Not a -> "~" ^ print_expr a
+  | And (a, b) -> Printf.sprintf "(%s & %s)" (print_expr a) (print_expr b)
+  | Or (a, b) -> Printf.sprintf "(%s | %s)" (print_expr a) (print_expr b)
+  | Xor (a, b) -> Printf.sprintf "(%s ^ %s)" (print_expr a) (print_expr b)
+  | Ite (c, a, b) ->
+    Printf.sprintf "(%s ? %s : %s)" (print_expr c) (print_expr a) (print_expr b)
+
+let arb_expr = QCheck.make ~print:print_expr gen_expr
+
+let all_envs f =
+  Seq.for_all
+    (fun v -> f (fun i -> Bitvec.get v i))
+    (Bitvec.all_values nvars)
+
+let prop name f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:200 ~name arb_expr f)
+
+let props =
+  [
+    prop "bdd matches evaluator" (fun e ->
+        let m = Bdd.make_man () in
+        let b = to_bdd m e in
+        all_envs (fun env -> Bdd.eval b env = eval_expr env e));
+    prop "double negation" (fun e ->
+        let m = Bdd.make_man () in
+        let b = to_bdd m e in
+        Bdd.equal b (Bdd.not_ (Bdd.not_ b)));
+    prop "hash-consing canonicity" (fun e ->
+        (* Build twice (in different shapes) and compare physically. *)
+        let m = Bdd.make_man () in
+        let b1 = to_bdd m e in
+        let b2 = Bdd.not_ (to_bdd m (Not e)) in
+        Bdd.equal b1 b2 && Bdd.uid b1 = Bdd.uid b2);
+    prop "cofactor shannon" (fun e ->
+        let m = Bdd.make_man () in
+        let b = to_bdd m e in
+        let v = Bdd.var m 0 in
+        let expanded =
+          Bdd.or_
+            (Bdd.and_ v (Bdd.cofactor b 0 true))
+            (Bdd.and_ (Bdd.not_ v) (Bdd.cofactor b 0 false))
+        in
+        Bdd.equal b expanded);
+    prop "exists = or of cofactors" (fun e ->
+        let m = Bdd.make_man () in
+        let b = to_bdd m e in
+        Bdd.equal (Bdd.exists [ 1 ] b)
+          (Bdd.or_ (Bdd.cofactor b 1 true) (Bdd.cofactor b 1 false)));
+    prop "forall = and of cofactors" (fun e ->
+        let m = Bdd.make_man () in
+        let b = to_bdd m e in
+        Bdd.equal (Bdd.forall [ 1 ] b)
+          (Bdd.and_ (Bdd.cofactor b 1 true) (Bdd.cofactor b 1 false)));
+    prop "sat_count matches enumeration" (fun e ->
+        let m = Bdd.make_man () in
+        let b = to_bdd m e in
+        let count =
+          Seq.fold_left
+            (fun acc v -> if Bdd.eval b (Bitvec.get v) then acc + 1 else acc)
+            0 (Bitvec.all_values nvars)
+        in
+        int_of_float (Bdd.sat_count b ~nvars) = count);
+    prop "constrain agrees on care set" (fun e ->
+        let m = Bdd.make_man () in
+        let b = to_bdd m e in
+        let c = Bdd.or_ (Bdd.var m 0) (Bdd.var m 1) in
+        let r = Bdd.constrain b c in
+        all_envs (fun env ->
+            (not (Bdd.eval c env)) || Bdd.eval r env = Bdd.eval b env));
+    prop "constrain canonical for equal-on-care" (fun e ->
+        let m = Bdd.make_man () in
+        let b = to_bdd m e in
+        let c = Bdd.var m 2 in
+        (* b and (b restricted-to-c arbitrary elsewhere): modify b off-care. *)
+        let b' = Bdd.ite (Bdd.not_ c) (Bdd.var m 3) b in
+        let b'' = Bdd.ite c b (Bdd.var m 4) in
+        Bdd.equal (Bdd.constrain b' c) (Bdd.constrain b'' c));
+  ]
+
+let test_basics () =
+  let m = Bdd.make_man () in
+  Alcotest.(check bool) "zero is zero" true (Bdd.is_zero (Bdd.zero m));
+  Alcotest.(check bool) "one is one" true (Bdd.is_one (Bdd.one m));
+  Alcotest.(check bool) "var not const" false (Bdd.is_const (Bdd.var m 0));
+  Alcotest.(check int) "top_var" 3 (Bdd.top_var (Bdd.var m 3));
+  let f = Bdd.and_ (Bdd.var m 0) (Bdd.nvar m 2) in
+  Alcotest.(check (list int)) "support" [ 0; 2 ] (Bdd.support f)
+
+let test_minterms () =
+  let m = Bdd.make_man () in
+  let vs = [ Bitvec.of_int ~width:3 1; Bitvec.of_int ~width:3 6 ] in
+  let f = Bdd.of_minterms m ~nvars:3 vs in
+  let back = List.of_seq (Bdd.sat_seq f ~nvars:3) in
+  Alcotest.(check (list int)) "roundtrip" [ 1; 6 ] (List.map Bitvec.to_int back)
+
+let test_rename () =
+  let m = Bdd.make_man () in
+  let f = Bdd.and_ (Bdd.var m 0) (Bdd.var m 1) in
+  let g = Bdd.rename f (fun v -> v + 5) in
+  Alcotest.(check (list int)) "renamed support" [ 5; 6 ] (Bdd.support g);
+  let h = Bdd.and_ (Bdd.var m 5) (Bdd.var m 6) in
+  Alcotest.(check bool) "same function" true (Bdd.equal g h)
+
+let test_manager_isolation () =
+  let m1 = Bdd.make_man () and m2 = Bdd.make_man () in
+  Alcotest.check_raises "cross-manager rejected"
+    (Invalid_argument "Bdd: manager mismatch") (fun () ->
+      ignore (Bdd.and_ (Bdd.var m1 0) (Bdd.var m2 0)))
+
+let () =
+  Alcotest.run "bdd"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "minterms roundtrip" `Quick test_minterms;
+          Alcotest.test_case "rename" `Quick test_rename;
+          Alcotest.test_case "manager isolation" `Quick test_manager_isolation;
+        ] );
+      ("properties", props);
+    ]

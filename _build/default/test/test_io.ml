@@ -1,0 +1,177 @@
+(* Interchange formats: VCD waveforms and AIGER netlists. *)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let count_lines_with text needle =
+  String.split_on_char '\n' text
+  |> List.filter (fun l -> contains l needle)
+  |> List.length
+
+(* ------------------------------------------------------------------ vcd *)
+
+let counter () =
+  let b = Rtl.Builder.create "ctr" in
+  let en = Rtl.Builder.input b "en" 1 in
+  let q = Rtl.Builder.reg_declare b "q" ~width:3 in
+  Rtl.Builder.reg_connect b ~enable:en "q"
+    (Rtl.Expr.add q (Rtl.Expr.of_int ~width:3 1));
+  Rtl.Builder.output b "count" q;
+  Rtl.Builder.finish b
+
+let test_vcd_structure () =
+  let d = counter () in
+  let stim =
+    List.init 6 (fun _ -> [ ("en", Bitvec.ones 1) ])
+  in
+  let vcd = Rtl.Vcd.of_run d ~stimulus:stim ~watch:[ "en"; "q" ] in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) ("contains " ^ fragment) true (contains vcd fragment))
+    [ "$timescale"; "$var wire 1"; "$var wire 3"; "$enddefinitions"; "#0";
+      "#50" ];
+  (* clk toggles twice per cycle. *)
+  Alcotest.(check int) "rising edges" 6 (count_lines_with vcd "1!");
+  (* q changes every cycle (counting), en only once. *)
+  Alcotest.(check bool) "q changes most cycles" true
+    (count_lines_with vcd "b" >= 5)
+
+let test_vcd_change_only () =
+  let d = counter () in
+  let stim = List.init 8 (fun _ -> [ ("en", Bitvec.zero 1) ]) in
+  let vcd = Rtl.Vcd.of_run d ~stimulus:stim ~watch:[ "q" ] in
+  (* Held counter: exactly one value line for q. *)
+  Alcotest.(check int) "single q record" 1 (count_lines_with vcd "b000")
+
+let test_vcd_unknown_signal () =
+  let d = counter () in
+  match Rtl.Vcd.of_run d ~stimulus:[] ~watch:[ "ghost" ] with
+  | _ -> Alcotest.fail "unknown signal accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ---------------------------------------------------------------- aiger *)
+
+let roundtrip_equivalent g =
+  let text = Synth.Aiger.write g in
+  let g' = Synth.Aiger.read text in
+  match Synth.Equiv.aig_vs_aig ~seed:7 ~cycles:32 ~runs:3 g g' with
+  | None -> true
+  | Some m ->
+    QCheck.Test.fail_reportf "roundtrip mismatch on %s at cycle %d"
+      m.Synth.Equiv.output m.Synth.Equiv.cycle
+
+let test_aiger_roundtrip_fsm () =
+  let fsm =
+    Workload.Rand_fsm.generate ~seed:3 ~num_inputs:2 ~num_outputs:4 ~num_states:6
+  in
+  let d =
+    Synth.Partial_eval.bind_tables
+      (Core.Fsm_ir.to_flexible_rtl fsm)
+      (Core.Fsm_ir.config_bindings fsm)
+  in
+  let g = (Synth.Lower.run d).Synth.Lower.aig in
+  Alcotest.(check bool) "equivalent" true (roundtrip_equivalent g);
+  (* Names survive. *)
+  let g' = Synth.Aiger.read (Synth.Aiger.write g) in
+  Alcotest.(check (list string)) "input names"
+    (List.map (Aig.pi_name g) (Aig.pis g))
+    (List.map (Aig.pi_name g') (Aig.pis g'))
+
+let prop_aiger_roundtrip =
+  let arb =
+    QCheck.make ~print:(Printf.sprintf "seed=%d") QCheck.Gen.(0 -- 2000)
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"aiger roundtrip preserves behaviour" arb
+       (fun seed ->
+         let d = Workload.Rand_design.generate ~seed in
+         roundtrip_equivalent (Synth.Lower.run d).Synth.Lower.aig))
+
+let test_aiger_errors () =
+  let bad text =
+    match Synth.Aiger.read text with
+    | _ -> Alcotest.failf "accepted %S" text
+    | exception Synth.Aiger.Parse_error _ -> ()
+  in
+  bad "not an aiger file";
+  bad "aag 1 1 0 0 0\n";
+  (* undefined variable used by the output *)
+  bad "aag 2 1 0 1 0\n2\n6\n";
+  (* redefinition *)
+  bad "aag 1 1 0 0 1\n2\n2 0 0\n"
+
+let test_aiger_header_counts () =
+  let g = Aig.create () in
+  let a = Aig.pi g "a" and b = Aig.pi g "b" in
+  Aig.po g "x" (Aig.and_ g a (Aig.not_ b));
+  let text = Synth.Aiger.write g in
+  Alcotest.(check bool) "header" true (contains text "aag 3 2 0 1 1")
+
+(* ----------------------------------------------------------------- sexp *)
+
+let test_sexp_roundtrip_fixed () =
+  let fsm =
+    Workload.Rand_fsm.generate ~seed:4 ~num_inputs:2 ~num_outputs:4 ~num_states:5
+  in
+  let d = Core.Fsm_ir.to_flexible_rtl ~annotate:true fsm in
+  let d' = Rtl.Serialize.read (Rtl.Serialize.write d) in
+  Alcotest.(check string) "name" d.Rtl.Design.name d'.Rtl.Design.name;
+  Alcotest.(check int) "annots survive"
+    (List.length d.Rtl.Design.annots)
+    (List.length d'.Rtl.Design.annots);
+  Alcotest.(check int) "config bits"
+    (Rtl.Design.config_bit_count d)
+    (Rtl.Design.config_bit_count d')
+
+let prop_sexp_roundtrip =
+  let arb =
+    QCheck.make ~print:(Printf.sprintf "seed=%d") QCheck.Gen.(0 -- 2000)
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:80 ~name:"sexp roundtrip preserves behaviour" arb
+       (fun seed ->
+         let d = Workload.Rand_design.generate ~seed in
+         let d' = Rtl.Serialize.read (Rtl.Serialize.write d) in
+         let g = (Synth.Lower.run d).Synth.Lower.aig in
+         let g' = (Synth.Lower.run d').Synth.Lower.aig in
+         match Synth.Equiv.aig_vs_aig ~seed ~cycles:24 ~runs:2 g g' with
+         | None -> true
+         | Some m ->
+           QCheck.Test.fail_reportf "mismatch on %s" m.Synth.Equiv.output))
+
+let test_sexp_errors () =
+  let bad text =
+    match Rtl.Serialize.read text with
+    | _ -> Alcotest.failf "accepted %S" text
+    | exception Rtl.Serialize.Parse_error _ -> ()
+  in
+  bad "(not a design)";
+  bad "(design (name x))";
+  bad "(design (name x) (inputs) (nets) (regs) (tables) (outputs) (annots";
+  bad "(design (name x) (inputs (a zero)) (nets) (regs) (tables) (outputs) (annots))"
+
+let () =
+  Alcotest.run "io"
+    [
+      ( "vcd",
+        [
+          Alcotest.test_case "structure" `Quick test_vcd_structure;
+          Alcotest.test_case "change-only encoding" `Quick test_vcd_change_only;
+          Alcotest.test_case "unknown signal" `Quick test_vcd_unknown_signal;
+        ] );
+      ( "aiger",
+        [
+          Alcotest.test_case "fsm roundtrip" `Quick test_aiger_roundtrip_fsm;
+          prop_aiger_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_aiger_errors;
+          Alcotest.test_case "header counts" `Quick test_aiger_header_counts;
+        ] );
+      ( "sexp",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_sexp_roundtrip_fixed;
+          prop_sexp_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_sexp_errors;
+        ] );
+    ]
