@@ -5,20 +5,116 @@
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe fig5       -- one figure
      dune exec bench/main.exe quick      -- subsampled smoke run
-     dune exec bench/main.exe perf       -- Bechamel pass benchmarks only *)
+     dune exec bench/main.exe perf       -- Bechamel pass benchmarks only
 
-let fig5 () = Experiments.Fig5.print (Experiments.Fig5.run ())
-let fig6 () = Experiments.Fig6.print (Experiments.Fig6.run ())
-let fig8 () = Experiments.Fig8.print (Experiments.Fig8.run ())
-let fig9 () = Experiments.Fig9.print (Experiments.Fig9.run ())
+   Engine flags (combine with any command):
+     -j N             run synthesis jobs on N worker domains (0 = auto)
+     --cache-dir DIR  persist synthesis results across runs
+     --no-cache       disable result caching entirely
+     --json PATH      also write figure rows + engine stats as JSON
+
+   Figure tables go to stdout; engine statistics go to stderr, so stdout is
+   byte-identical across -j values and cache temperatures. *)
+
+module Json = Report.Json
+
+(* ------------------------------------------------- figure rows as JSON *)
+
+let fig5_json rows =
+  Json.List
+    (List.map
+       (fun (r : Experiments.Fig5.row) ->
+         Json.Obj
+           [ ("depth", Json.Int r.depth); ("width", Json.Int r.width);
+             ("seed", Json.Int r.seed);
+             ("table_area", Json.Float r.table_area);
+             ("sop_area", Json.Float r.sop_area) ])
+       rows)
+
+let fig6_json rows =
+  Json.List
+    (List.map
+       (fun (r : Experiments.Fig6.row) ->
+         Json.Obj
+           [ ("m", Json.Int r.m); ("n", Json.Int r.n); ("s", Json.Int r.s);
+             ("seed", Json.Int r.seed);
+             ("direct_area", Json.Float r.direct_area);
+             ("regular_area", Json.Float r.regular_area);
+             ("annotated_area", Json.Float r.annotated_area) ])
+       rows)
+
+let fig8_json rows =
+  Json.List
+    (List.map
+       (fun (r : Experiments.Fig8.row) ->
+         Json.Obj
+           [ ("n", Json.Int r.n); ("flop", Json.String r.style_name);
+             ("variant",
+              Json.String (Experiments.Fig8.variant_name r.variant));
+             ("generic_area", Json.Float r.generic_area);
+             ("direct_area", Json.Float r.direct_area) ])
+       rows)
+
+let fig9_json rows =
+  let mode_name = function
+    | Pctrl.Controller.Cached -> "cached"
+    | Pctrl.Controller.Uncached -> "uncached"
+  in
+  let level_name = function
+    | Experiments.Fig9.Full -> "full"
+    | Experiments.Fig9.Auto -> "auto"
+    | Experiments.Fig9.Manual -> "manual"
+  in
+  Json.List
+    (List.map
+       (fun (r : Experiments.Fig9.row) ->
+         Json.Obj
+           [ ("config", Json.String (mode_name r.mode));
+             ("level", Json.String (level_name r.level));
+             ("comb_area", Json.Float r.comb);
+             ("seq_area", Json.Float r.seq);
+             ("power", Json.Float r.power) ])
+       rows)
+
+(* ------------------------------------------------------------ commands *)
+
+(* Each command returns its (figure name, rows-as-JSON) contributions. *)
+
+let fig5 () =
+  let rows = Experiments.Fig5.run () in
+  Experiments.Fig5.print rows;
+  [ ("fig5", fig5_json rows) ]
+
+let fig6 () =
+  let rows = Experiments.Fig6.run () in
+  Experiments.Fig6.print rows;
+  [ ("fig6", fig6_json rows) ]
+
+let fig8 () =
+  let rows = Experiments.Fig8.run () in
+  Experiments.Fig8.print rows;
+  [ ("fig8", fig8_json rows) ]
+
+let fig9 () =
+  let rows = Experiments.Fig9.run () in
+  Experiments.Fig9.print rows;
+  [ ("fig9", fig9_json rows) ]
 
 let quick () =
-  Experiments.Fig5.print
-    (Experiments.Fig5.run ~seeds:[ 0 ] ~grid:Experiments.Fig5.quick_grid ());
-  Experiments.Fig6.print
-    (Experiments.Fig6.run ~seeds:[ 0 ] ~grid:Experiments.Fig6.quick_grid ());
-  Experiments.Fig8.print (Experiments.Fig8.run ~widths:[ 2; 8; 32; 64 ] ());
-  Experiments.Fig9.print (Experiments.Fig9.run ())
+  let r5 =
+    Experiments.Fig5.run ~seeds:[ 0 ] ~grid:Experiments.Fig5.quick_grid ()
+  in
+  Experiments.Fig5.print r5;
+  let r6 =
+    Experiments.Fig6.run ~seeds:[ 0 ] ~grid:Experiments.Fig6.quick_grid ()
+  in
+  Experiments.Fig6.print r6;
+  let r8 = Experiments.Fig8.run ~widths:[ 2; 8; 32; 64 ] () in
+  Experiments.Fig8.print r8;
+  let r9 = Experiments.Fig9.run () in
+  Experiments.Fig9.print r9;
+  [ ("fig5", fig5_json r5); ("fig6", fig6_json r6); ("fig8", fig8_json r8);
+    ("fig9", fig9_json r9) ]
 
 let ablations () =
   Experiments.Ablation.cone_cap ();
@@ -26,7 +122,8 @@ let ablations () =
   Experiments.Ablation.annot_cap ();
   Experiments.Ablation.encodings ();
   Experiments.Ablation.library_richness ();
-  Experiments.Ablation.microcode_style ()
+  Experiments.Ablation.microcode_style ();
+  []
 
 (* One Bechamel test per synthesis stage, all in one executable. *)
 let perf () =
@@ -105,34 +202,104 @@ let perf () =
         Printf.printf "%-32s %10.3f ms/run\n" name (ns /. 1e6)
       else Printf.printf "%-32s %10.1f ns/run\n" name ns)
     (List.sort Stdlib.compare !rows);
-  print_newline ()
+  print_newline ();
+  []
 
 let all () =
-  fig5 ();
-  fig6 ();
-  fig8 ();
-  fig9 ();
-  ablations ();
-  perf ()
+  let figs =
+    List.concat [ fig5 (); fig6 (); fig8 (); fig9 (); ablations (); perf () ]
+  in
+  figs
+
+(* --------------------------------------------------------- entry point *)
+
+let engine_stats_json (s : Engine.stats) =
+  Json.Obj
+    [ ("submitted", Json.Int s.Engine.submitted);
+      ("executed", Json.Int s.Engine.executed);
+      ("failed", Json.Int s.Engine.failed);
+      ("mem_hits", Json.Int s.Engine.mem_hits);
+      ("disk_hits", Json.Int s.Engine.disk_hits);
+      ("wall_s", Json.Float s.Engine.wall_s);
+      ("cpu_s", Json.Float s.Engine.cpu_s) ]
+
+let usage () =
+  prerr_endline
+    "usage: main.exe \
+     [all|quick|fig5|fig6|fig8|fig9|ablations|ablate-cone|ablate-twolevel|ablate-cap|ablate-encodings|ablate-library|ablate-ucode|perf]\n\
+     \       [-j N] [--cache-dir DIR] [--no-cache] [--json PATH]";
+  exit 2
 
 let () =
-  match Array.to_list Sys.argv with
-  | [ _ ] | [ _; "all" ] -> all ()
-  | [ _; "fig5" ] -> fig5 ()
-  | [ _; "fig6" ] -> fig6 ()
-  | [ _; "fig8" ] -> fig8 ()
-  | [ _; "fig9" ] -> fig9 ()
-  | [ _; "quick" ] -> quick ()
-  | [ _; "perf" ] -> perf ()
-  | [ _; "ablate-cone" ] -> Experiments.Ablation.cone_cap ()
-  | [ _; "ablate-twolevel" ] -> Experiments.Ablation.twolevel ()
-  | [ _; "ablate-cap" ] -> Experiments.Ablation.annot_cap ()
-  | [ _; "ablate-encodings" ] -> Experiments.Ablation.encodings ()
-  | [ _; "ablate-library" ] -> Experiments.Ablation.library_richness ()
-  | [ _; "ablate-ucode" ] -> Experiments.Ablation.microcode_style ()
-  | [ _; "ablations" ] -> ablations ()
-  | _ ->
-    prerr_endline
-      "usage: main.exe \
-       [all|quick|fig5|fig6|fig8|fig9|ablations|ablate-cone|ablate-twolevel|ablate-cap|perf]";
-    exit 2
+  let commands = ref [] in
+  let jobs = ref 1 in
+  let cache_dir = ref None in
+  let no_cache = ref false in
+  let json_path = ref None in
+  let rec parse = function
+    | [] -> ()
+    | ("-j" | "--jobs") :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some n when n >= 0 -> jobs := n
+       | _ -> usage ());
+      parse rest
+    | [ "-j" ] | [ "--jobs" ] -> usage ()
+    | "--cache-dir" :: dir :: rest ->
+      cache_dir := Some dir;
+      parse rest
+    | [ "--cache-dir" ] -> usage ()
+    | "--no-cache" :: rest ->
+      no_cache := true;
+      parse rest
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      parse rest
+    | [ "--json" ] -> usage ()
+    | cmd :: rest ->
+      commands := !commands @ [ cmd ];
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  (match
+     Engine.create ~jobs:!jobs ?cache_dir:!cache_dir ~no_cache:!no_cache
+       Cells.Library.vt90
+   with
+  | e -> Engine.set_default e
+  | exception Invalid_argument msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 2);
+  let command = match !commands with [] -> "all" | c :: _ -> c in
+  (match !commands with [] | [ _ ] -> () | _ -> usage ());
+  let figures =
+    match command with
+    | "all" -> all ()
+    | "fig5" -> fig5 ()
+    | "fig6" -> fig6 ()
+    | "fig8" -> fig8 ()
+    | "fig9" -> fig9 ()
+    | "quick" -> quick ()
+    | "perf" -> perf ()
+    | "ablate-cone" -> Experiments.Ablation.cone_cap (); []
+    | "ablate-twolevel" -> Experiments.Ablation.twolevel (); []
+    | "ablate-cap" -> Experiments.Ablation.annot_cap (); []
+    | "ablate-encodings" -> Experiments.Ablation.encodings (); []
+    | "ablate-library" -> Experiments.Ablation.library_richness (); []
+    | "ablate-ucode" -> Experiments.Ablation.microcode_style (); []
+    | "ablations" -> ablations ()
+    | _ -> usage ()
+  in
+  let stats = Engine.stats (Engine.default ()) in
+  prerr_string (Engine.stats_table stats);
+  Option.iter
+    (fun path ->
+      let doc =
+        Json.Obj
+          [ ("command", Json.String command);
+            ("figures", Json.Obj figures);
+            ("engine", engine_stats_json stats) ]
+      in
+      try Out_channel.with_open_text path (fun oc -> Json.to_channel oc doc)
+      with Sys_error msg ->
+        Printf.eprintf "error: cannot write JSON output: %s\n" msg;
+        exit 2)
+    !json_path

@@ -19,6 +19,73 @@ let print_report prefix (report : Synth.Map.report) =
 let flow_options ~annotate ~retime =
   { Synth.Flow.default with honor_generator_annots = annotate; retime }
 
+(* ----------------------------------------------------------- job engine *)
+
+(* Shared flags configuring the process-wide synthesis engine. The term
+   configures a default engine over [lib] and evaluates to an [engine_cli]:
+   [reconfigure] rebuilds the default engine with the same flags but a
+   different cell library (the design subcommand's --liberty), and
+   [report_stats] prints the statistics table to stderr when --engine-stats
+   was given. *)
+type engine_cli = {
+  reconfigure : Cells.Library.t -> unit;
+  report_stats : unit -> unit;
+}
+
+let engine_term =
+  let jobs =
+    let nonneg =
+      Arg.conv
+        ( (fun s ->
+            match int_of_string_opt s with
+            | Some n when n >= 0 -> Ok n
+            | _ -> Error (`Msg "expected a non-negative integer")),
+          Format.pp_print_int )
+    in
+    Arg.(value & opt nonneg 1
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Run synthesis jobs on $(docv) worker domains (0 = one \
+                   per available core).")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Persist synthesis results under $(docv) and reuse them \
+                   across invocations.")
+  in
+  let no_cache =
+    Arg.(value & flag
+         & info [ "no-cache" ] ~doc:"Disable synthesis result caching.")
+  in
+  let stats =
+    Arg.(value & flag
+         & info [ "engine-stats" ]
+             ~doc:"Print job-engine statistics (hits, misses, wall vs cpu \
+                   time) to stderr after the run.")
+  in
+  let setup jobs cache_dir no_cache stats =
+    let reconfigure l =
+      match Engine.create ~jobs ?cache_dir ~no_cache l with
+      | e -> Engine.set_default e
+      | exception Invalid_argument msg ->
+        Printf.eprintf "ctrlgen: %s\n" msg;
+        exit 2
+    in
+    reconfigure lib;
+    {
+      reconfigure;
+      report_stats =
+        (fun () ->
+          if stats then
+            prerr_string
+              (Engine.stats_table (Engine.stats (Engine.default ()))));
+    }
+  in
+  Term.(const setup $ jobs $ cache_dir $ no_cache $ stats)
+
+let engine_report ?options d =
+  Engine.report_exn (Engine.default ()) (Engine.job ?options d)
+
 (* ------------------------------------------------------------------ synth *)
 
 let synth_kind =
@@ -39,8 +106,8 @@ let style_arg =
 let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Random seed.")
 
 let synth_cmd =
-  let run kind style seed depth width inputs outputs states annotate retime
-      dump_verilog dump_netlist =
+  let run eng kind style seed depth width inputs outputs states
+      annotate retime dump_verilog dump_netlist =
     let design =
       match kind with
       | `Table ->
@@ -67,15 +134,31 @@ let synth_cmd =
     in
     Format.printf "%s@." (Rtl.Design.stats design);
     if dump_verilog then print_string (Rtl.Verilog.emit design);
-    let result =
-      Synth.Flow.compile ~options:(flow_options ~annotate ~retime) lib design
-    in
-    Format.printf "optimized: %s@." (Aig.stats result.Synth.Flow.aig);
-    print_report "mapped" result.Synth.Flow.report;
-    if dump_netlist then
+    let options = flow_options ~annotate ~retime in
+    if dump_netlist then begin
+      (* The netlist needs the full AIG, which the engine's summaries
+         deliberately don't keep — compile directly. *)
+      let result = Synth.Flow.compile ~options lib design in
+      Format.printf "optimized: %s@." (Aig.stats result.Synth.Flow.aig);
+      print_report "mapped" result.Synth.Flow.report;
       print_string
         (Synth.Netlist.emit lib ~name:design.Rtl.Design.name
            result.Synth.Flow.aig)
+    end
+    else begin
+      let outcome =
+        Engine.run_one (Engine.default ()) (Engine.job ~options design)
+      in
+      match outcome with
+      | Ok s ->
+        Format.printf "optimized: aig: %d latches, %d ANDs@."
+          s.Engine.Summary.aig_latches s.Engine.Summary.aig_ands;
+        print_report "mapped" s.Engine.Summary.report
+      | Error e ->
+        Format.eprintf "synthesis failed: %s@." (Engine.Pool.error_message e);
+        exit 1
+    end;
+    eng.report_stats ()
   in
   let depth = Arg.(value & opt int 64 & info [ "depth" ] ~doc:"Table depth.") in
   let width = Arg.(value & opt int 8 & info [ "width" ] ~doc:"Table width.") in
@@ -96,13 +179,14 @@ let synth_cmd =
   in
   Cmd.v
     (Cmd.info "synth" ~doc:"Generate a random controller and synthesize it.")
-    Term.(const run $ synth_kind $ style_arg $ seed_arg $ depth $ width
-          $ inputs $ outputs $ states $ annotate $ retime $ verilog $ netlist)
+    Term.(const run $ engine_term $ synth_kind $ style_arg $ seed_arg $ depth
+          $ width $ inputs $ outputs $ states $ annotate $ retime $ verilog
+          $ netlist)
 
 (* -------------------------------------------------------------------- asm *)
 
 let asm_cmd =
-  let run file dump_verilog storage do_synth =
+  let run eng file dump_verilog storage do_synth =
     let source = In_channel.with_open_text file In_channel.input_all in
     match Core.Microasm.parse source with
     | exception Core.Microasm.Parse_error (line, msg) ->
@@ -134,9 +218,9 @@ let asm_cmd =
           | `Config ->
             Synth.Partial_eval.bind_tables design (Core.Microcode.config_bindings p)
         in
-        let result = Synth.Flow.compile lib design in
-        print_report "mapped" result.Synth.Flow.report
-      end
+        print_report "mapped" (engine_report design)
+      end;
+      eng.report_stats ()
   in
   let file =
     Arg.(required & pos 0 (some file) None
@@ -149,37 +233,37 @@ let asm_cmd =
   let do_synth = Arg.(value & flag & info [ "synth" ] ~doc:"Also synthesize.") in
   Cmd.v
     (Cmd.info "asm" ~doc:"Assemble a microprogram and report on it.")
-    Term.(const run $ file $ verilog $ storage $ do_synth)
+    Term.(const run $ engine_term $ file $ verilog $ storage $ do_synth)
 
 (* ------------------------------------------------------------------ pctrl *)
 
 let pctrl_cmd =
-  let run () =
-    let compile ?options d = (Synth.Flow.compile ?options lib d).Synth.Flow.report in
+  let run eng =
     let full = Pctrl.Controller.full_design () in
     Format.printf "%s@." (Rtl.Design.stats full);
-    print_report "full" (compile full);
+    print_report "full" (engine_report full);
     List.iter
       (fun (name, mode) ->
         print_report
           (Printf.sprintf "auto %s" name)
-          (compile (Pctrl.Controller.auto_design mode));
+          (engine_report (Pctrl.Controller.auto_design mode));
         print_report
           (Printf.sprintf "manual %s" name)
-          (compile
+          (engine_report
              ~options:{ Synth.Flow.default with honor_generator_annots = true }
              (Pctrl.Controller.manual_design mode)))
       [ ("cached", Pctrl.Controller.Cached);
-        ("uncached", Pctrl.Controller.Uncached) ]
+        ("uncached", Pctrl.Controller.Uncached) ];
+    eng.report_stats ()
   in
   Cmd.v
     (Cmd.info "pctrl" ~doc:"Synthesize the PCtrl case study at every level.")
-    Term.(const run $ const ())
+    Term.(const run $ engine_term)
 
 (* ----------------------------------------------------------------- design *)
 
 let design_cmd =
-  let run file liberty dump_verilog dump_netlist aiger_out do_synth =
+  let run eng file liberty dump_verilog dump_netlist aiger_out do_synth =
     let lib =
       match liberty with
       | None -> lib
@@ -198,7 +282,9 @@ let design_cmd =
     | design ->
       Format.printf "%s@." (Rtl.Design.stats design);
       if dump_verilog then print_string (Rtl.Verilog.emit design);
-      if do_synth || dump_netlist || aiger_out <> None then begin
+      if dump_netlist || aiger_out <> None then begin
+        (* Netlist/AIGER dumps need the optimized AIG itself, which cached
+           summaries don't carry — compile directly. *)
         let result = Synth.Flow.compile lib design in
         print_report "mapped" result.Synth.Flow.report;
         if dump_netlist then
@@ -209,6 +295,14 @@ let design_cmd =
           (fun path -> Synth.Aiger.to_file path result.Synth.Flow.aig)
           aiger_out
       end
+      else if do_synth then begin
+        (* [lib] may be a user Liberty library; rebuild the default engine
+           around it (fingerprints include the library, so a shared cache
+           directory never leaks results across libraries). *)
+        eng.reconfigure lib;
+        print_report "mapped" (engine_report design)
+      end;
+      eng.report_stats ()
   in
   let file =
     Arg.(required & pos 0 (some file) None
@@ -229,13 +323,14 @@ let design_cmd =
   let do_synth = Arg.(value & flag & info [ "synth" ] ~doc:"Synthesize.") in
   Cmd.v
     (Cmd.info "design" ~doc:"Load a serialized design and process it.")
-    Term.(const run $ file $ liberty $ verilog $ netlist $ aiger $ do_synth)
+    Term.(const run $ engine_term $ file $ liberty $ verilog $ netlist
+          $ aiger $ do_synth)
 
 (* ------------------------------------------------------------- experiment *)
 
 let experiment_cmd =
-  let run name =
-    match name with
+  let run eng name =
+    (match name with
     | "fig5" -> Experiments.Fig5.print (Experiments.Fig5.run ())
     | "fig6" -> Experiments.Fig6.print (Experiments.Fig6.run ())
     | "fig8" -> Experiments.Fig8.print (Experiments.Fig8.run ())
@@ -245,7 +340,8 @@ let experiment_cmd =
     | "ablate-cap" -> Experiments.Ablation.annot_cap ()
     | other ->
       Format.eprintf "unknown experiment %s@." other;
-      exit 2
+      exit 2);
+    eng.report_stats ()
   in
   let name_arg =
     Arg.(required & pos 0 (some string) None
@@ -255,7 +351,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a paper figure or ablation.")
-    Term.(const run $ name_arg)
+    Term.(const run $ engine_term $ name_arg)
 
 let () =
   let info =

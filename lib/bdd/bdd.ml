@@ -16,11 +16,12 @@ type man = {
 
 type t = { man : man; node : node }
 
-let next_stamp = ref 0
+(* Atomic: managers are created from synthesis jobs running on multiple
+   domains, and duplicate stamps would defeat the cross-manager check. *)
+let next_stamp = Atomic.make 0
 
 let make_man () =
-  incr next_stamp;
-  { stamp = !next_stamp;
+  { stamp = Atomic.fetch_and_add next_stamp 1 + 1;
     unique = Hashtbl.create 1024;
     ite_cache = Hashtbl.create 1024;
     next_id = 2 }

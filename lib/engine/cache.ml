@@ -1,0 +1,84 @@
+type stats = {
+  mem_hits : int;
+  disk_hits : int;
+  misses : int;
+  stores : int;
+}
+
+type t = {
+  table : (string, Summary.t) Hashtbl.t;
+  dir : string option;
+  mutable mem_hits : int;
+  mutable disk_hits : int;
+  mutable misses : int;
+  mutable stores : int;
+}
+
+let rec mkdir_p path =
+  if path <> "" && path <> "/" && not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ?dir () =
+  Option.iter
+    (fun d ->
+      mkdir_p d;
+      (* A cache dir that exists but is not a directory would otherwise
+         degrade to silent store failures and a permanently cold cache. *)
+      if not (Sys.is_directory d) then
+        invalid_arg
+          (Printf.sprintf "Engine.Cache.create: %s is not a directory" d))
+    dir;
+  { table = Hashtbl.create 64; dir; mem_hits = 0; disk_hits = 0;
+    misses = 0; stores = 0 }
+
+let entry_path dir key = Filename.concat dir (key ^ ".summary")
+
+let disk_find dir key =
+  let path = entry_path dir key in
+  if not (Sys.file_exists path) then None
+  else
+    match In_channel.with_open_text path In_channel.input_all with
+    | exception Sys_error _ -> None
+    | text ->
+      (match Summary.of_string text with
+       | Ok s -> Some s
+       | Error _ -> None (* corrupt/foreign entry: treat as a miss *))
+
+let disk_store dir key summary =
+  (* Atomic publish: unique temp file in the same directory, then rename. *)
+  match
+    Filename.temp_file ~temp_dir:dir ("." ^ key) ".tmp"
+  with
+  | exception Sys_error _ -> ()
+  | tmp ->
+    (try
+       Out_channel.with_open_text tmp (fun oc ->
+           Out_channel.output_string oc (Summary.to_string summary));
+       Sys.rename tmp (entry_path dir key)
+     with Sys_error _ -> (try Sys.remove tmp with Sys_error _ -> ()))
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some s ->
+    t.mem_hits <- t.mem_hits + 1;
+    Some (s, `Memory)
+  | None ->
+    (match Option.bind t.dir (fun dir -> disk_find dir key) with
+     | Some s ->
+       Hashtbl.replace t.table key s;
+       t.disk_hits <- t.disk_hits + 1;
+       Some (s, `Disk)
+     | None ->
+       t.misses <- t.misses + 1;
+       None)
+
+let store t key summary =
+  Hashtbl.replace t.table key summary;
+  t.stores <- t.stores + 1;
+  Option.iter (fun dir -> disk_store dir key summary) t.dir
+
+let stats t =
+  { mem_hits = t.mem_hits; disk_hits = t.disk_hits; misses = t.misses;
+    stores = t.stores }

@@ -1,0 +1,30 @@
+(** Content-addressed result cache: an in-memory table, optionally backed by
+    an on-disk directory.
+
+    Disk entries are one file per key ([<dir>/<key>.summary], the
+    {!Summary.to_string} form) written atomically: the bytes go to a unique
+    temp file in the same directory which is then [rename]d into place, so
+    concurrent processes sharing a cache directory see either nothing or a
+    complete entry. Disk failures (unwritable directory, corrupt entry) are
+    soft: the cache degrades to memory-only rather than failing the run. *)
+
+type t
+
+val create : ?dir:string -> unit -> t
+(** [dir], when given, is created (recursively) on first use and read
+    through: a key missing in memory is looked up on disk, and stores are
+    written through to disk. Raises [Invalid_argument] if [dir] exists but
+    is not a directory. *)
+
+type stats = {
+  mem_hits : int;
+  disk_hits : int;  (** found on disk (also counted once into memory) *)
+  misses : int;
+  stores : int;
+}
+
+val find : t -> string -> (Summary.t * [ `Memory | `Disk ]) option
+
+val store : t -> string -> Summary.t -> unit
+
+val stats : t -> stats

@@ -1,0 +1,167 @@
+module Fingerprint = Fingerprint
+module Summary = Summary
+module Pool = Pool
+module Cache = Cache
+
+type job = {
+  jname : string;
+  design : Rtl.Design.t;
+  options : Synth.Flow.options;
+}
+
+let job ?(options = Synth.Flow.default) design =
+  { jname = design.Rtl.Design.name; design; options }
+
+type outcome = (Summary.t, Pool.error) result
+
+type stats = {
+  submitted : int;
+  executed : int;
+  failed : int;
+  mem_hits : int;
+  disk_hits : int;
+  wall_s : float;
+  cpu_s : float;
+}
+
+type t = {
+  lib : Cells.Library.t;
+  jobs : int;
+  timeout_s : float option;
+  cache : Cache.t option;
+  mutable submitted : int;
+  mutable executed : int;
+  mutable failed : int;
+  mutable mem_hits : int;
+  mutable disk_hits : int;
+  mutable wall_s : float;
+  mutable cpu_s : float;
+}
+
+let create ?(jobs = 1) ?cache_dir ?(no_cache = false) ?timeout_s lib =
+  let jobs = if jobs = 0 then Domain.recommended_domain_count () else jobs in
+  if jobs < 1 then invalid_arg "Engine.create: jobs must be >= 0";
+  let cache = if no_cache then None else Some (Cache.create ?dir:cache_dir ()) in
+  { lib; jobs; timeout_s; cache; submitted = 0; executed = 0; failed = 0;
+    mem_hits = 0; disk_hits = 0; wall_s = 0.0; cpu_s = 0.0 }
+
+let library t = t.lib
+
+let now () = Unix.gettimeofday ()
+
+(* Each batch entry resolves to a cached summary or to an index into the
+   list of distinct jobs actually executed. *)
+type plan = Cached of Summary.t | Computed of int
+
+let run t jobs =
+  let t0 = now () in
+  t.submitted <- t.submitted + List.length jobs;
+  let planned = Hashtbl.create 16 in
+  let to_run = ref [] and n_run = ref 0 in
+  let plan =
+    List.map
+      (fun j ->
+        let key = Fingerprint.job ~lib:t.lib ~options:j.options j.design in
+        match Hashtbl.find_opt planned key with
+        | Some p ->
+          (* Duplicate within the batch: share the cached entry or the
+             single execution — either way it is a hit. *)
+          t.mem_hits <- t.mem_hits + 1;
+          p
+        | None ->
+          let p =
+            match Option.bind t.cache (fun c -> Cache.find c key) with
+            | Some (s, `Memory) ->
+              t.mem_hits <- t.mem_hits + 1;
+              Cached s
+            | Some (s, `Disk) ->
+              t.disk_hits <- t.disk_hits + 1;
+              Cached s
+            | None ->
+              to_run := (key, j) :: !to_run;
+              incr n_run;
+              Computed (!n_run - 1)
+          in
+          Hashtbl.add planned key p;
+          p)
+      jobs
+  in
+  let distinct = Array.of_list (List.rev !to_run) in
+  let compile (_key, j) =
+    let jt0 = now () in
+    let r = Synth.Flow.compile ~options:j.options t.lib j.design in
+    Summary.of_flow ~wall_s:(now () -. jt0) r
+  in
+  let results =
+    Pool.map ~jobs:t.jobs ?timeout_s:t.timeout_s compile
+      (Array.to_list distinct)
+    |> Array.of_list
+  in
+  t.executed <- t.executed + Array.length results;
+  Array.iteri
+    (fun i result ->
+      let key, _ = distinct.(i) in
+      match result with
+      | Ok s ->
+        t.cpu_s <- t.cpu_s +. s.Summary.wall_s;
+        Option.iter (fun c -> Cache.store c key s) t.cache
+      | Error _ -> t.failed <- t.failed + 1)
+    results;
+  t.wall_s <- t.wall_s +. (now () -. t0);
+  List.map
+    (function Cached s -> Ok s | Computed i -> results.(i))
+    plan
+
+let run_one t j = List.hd (run t [ j ])
+
+let report_exn t j =
+  match run_one t j with
+  | Ok s -> s.Summary.report
+  | Error e ->
+    failwith
+      (Printf.sprintf "synthesis job %s failed: %s" j.jname
+         (Pool.error_message e))
+
+let stats t =
+  { submitted = t.submitted; executed = t.executed; failed = t.failed;
+    mem_hits = t.mem_hits; disk_hits = t.disk_hits; wall_s = t.wall_s;
+    cpu_s = t.cpu_s }
+
+let reset_stats t =
+  t.submitted <- 0;
+  t.executed <- 0;
+  t.failed <- 0;
+  t.mem_hits <- 0;
+  t.disk_hits <- 0;
+  t.wall_s <- 0.0;
+  t.cpu_s <- 0.0
+
+let stats_table (s : stats) =
+  let f = Printf.sprintf "%.3f" in
+  Report.Table.render
+    ~align:[ Report.Table.Left; Report.Table.Right ]
+    ~header:[ "engine"; "value" ]
+    [
+      [ "jobs submitted"; string_of_int s.submitted ];
+      [ "cache hits (memory)"; string_of_int s.mem_hits ];
+      [ "cache hits (disk)"; string_of_int s.disk_hits ];
+      [ "jobs executed"; string_of_int s.executed ];
+      [ "jobs failed"; string_of_int s.failed ];
+      [ "wall time (s)"; f s.wall_s ];
+      [ "cpu time (s)"; f s.cpu_s ];
+      [ "parallel speedup";
+        (if s.wall_s > 0.0 then Printf.sprintf "%.2fx" (s.cpu_s /. s.wall_s)
+         else "-") ];
+    ]
+
+let the_default = ref None
+
+let set_default t = the_default := Some t
+
+let default () =
+  match !the_default with
+  | Some t -> t
+  | None ->
+    let t = create ~jobs:1 Cells.Library.vt90 in
+    set_default t;
+    t

@@ -1,0 +1,88 @@
+(** Parallel synthesis job engine with content-addressed result caching.
+
+    A {e job} is one [Synth.Flow.compile] of a design under a given option
+    record and cell library. The engine:
+
+    - fingerprints each job ({!Fingerprint}) and serves repeats from a
+      result cache ({!Cache}) — in-memory always, on-disk when configured —
+      so sweeps never recompute an identical (design, options, library)
+      triple, within a run or across runs;
+    - coalesces duplicate jobs inside one batch (each distinct key compiles
+      once, every requester shares the result);
+    - executes cache misses on a {!Pool} of worker domains with a bounded
+      queue, per-job timeout, and exception isolation: a crashing or
+      timed-out job yields an [Error] outcome for itself only.
+
+    Determinism: [Synth.Flow.compile] is a pure function of the job inputs,
+    so outcomes are independent of worker count, scheduling order, and
+    cache temperature — [run] returns outcomes in request order, and a
+    [-j 8] warm-cache run is bit-identical to a [-j 1] cold one. *)
+
+module Fingerprint = Fingerprint
+module Summary = Summary
+module Pool = Pool
+module Cache = Cache
+
+type job = {
+  jname : string;  (** label for error messages and reports *)
+  design : Rtl.Design.t;
+  options : Synth.Flow.options;
+}
+
+val job : ?options:Synth.Flow.options -> Rtl.Design.t -> job
+(** Job named after the design; [options] defaults to {!Synth.Flow.default}. *)
+
+type outcome = (Summary.t, Pool.error) result
+
+type stats = {
+  submitted : int;  (** jobs requested through [run]/[run_one] *)
+  executed : int;   (** jobs that actually compiled *)
+  failed : int;     (** executed jobs that settled in [Error] *)
+  mem_hits : int;   (** served from memory, incl. batch coalescing *)
+  disk_hits : int;  (** served from the on-disk cache *)
+  wall_s : float;   (** wall-clock spent inside [run] *)
+  cpu_s : float;    (** summed per-job compile time across workers *)
+}
+
+type t
+
+val create :
+  ?jobs:int ->
+  ?cache_dir:string ->
+  ?no_cache:bool ->
+  ?timeout_s:float ->
+  Cells.Library.t ->
+  t
+(** [jobs]: worker domains for cache-miss execution; [1] (default) compiles
+    on the calling domain, [0] means [Domain.recommended_domain_count ()].
+    [no_cache] disables result caching entirely ([cache_dir] is then
+    ignored). [timeout_s] bounds each job from submission. *)
+
+val library : t -> Cells.Library.t
+
+val run : t -> job list -> outcome list
+(** Outcomes in request order. Never raises on job failure. *)
+
+val run_one : t -> job -> outcome
+
+val report_exn : t -> job -> Synth.Map.report
+(** [run_one] unwrapped: raises [Failure] with the job name on [Error]. *)
+
+val stats : t -> stats
+
+val reset_stats : t -> unit
+(** Zeroes the engine's counters (the cache contents are kept). *)
+
+val stats_table : stats -> string
+(** Two-column rendering via {!Report.Table}. *)
+
+(** {2 Process-wide default engine}
+
+    CLI front-ends configure one engine per process; library code
+    ({!Exp_common} and friends) reaches it here. *)
+
+val set_default : t -> unit
+
+val default : unit -> t
+(** The configured engine, or a lazily created sequential one with an
+    in-memory cache over {!Cells.Library.vt90}. *)

@@ -1,0 +1,49 @@
+let options (o : Synth.Flow.options) =
+  (* Exhaustive destructuring: a new option field fails to compile here
+     until it is added to the canonical form (warning 9 is fatal). *)
+  let {
+    Synth.Flow.collapse_cap;
+    espresso_iters;
+    honor_tool_annots;
+    honor_generator_annots;
+    annot_width_cap;
+    retime;
+    stateprop;
+    self_check;
+  } =
+    o
+  in
+  Printf.sprintf
+    "(flow-options (collapse_cap %d) (espresso_iters %d) \
+     (honor_tool_annots %b) (honor_generator_annots %b) \
+     (annot_width_cap %d) (retime %b) (stateprop %b) (self_check %b))"
+    collapse_cap espresso_iters honor_tool_annots honor_generator_annots
+    annot_width_cap retime stateprop self_check
+
+let cell (c : Cells.Cell.t) =
+  let { Cells.Cell.cname; func; area; delay } = c in
+  let func =
+    match func with
+    | Cells.Cell.Comb { arity; table } ->
+      Printf.sprintf "(comb %d %d)" arity table
+    | Cells.Cell.Flop reset ->
+      let r =
+        match reset with
+        | Rtl.Design.No_reset -> "none"
+        | Rtl.Design.Sync_reset -> "sync"
+        | Rtl.Design.Async_reset -> "async"
+      in
+      Printf.sprintf "(flop %s)" r
+  in
+  (* %h renders floats bit-exactly, so area/delay tweaks always re-key. *)
+  Printf.sprintf "(cell %s %s %h %h)" cname func area delay
+
+let library (l : Cells.Library.t) =
+  Printf.sprintf "(library %s %s)" l.Cells.Library.lib_name
+    (String.concat " " (List.map cell l.Cells.Library.cells))
+
+let job ~lib ~options:o design =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\n"
+          [ Rtl.Serialize.write design; options o; library lib ]))

@@ -1,0 +1,24 @@
+(** Content-addressed job identity.
+
+    A synthesis job is fully determined by the design (serialized via
+    {!Rtl.Serialize}), the flow options, and the cell library. The
+    fingerprint is an MD5 over canonical textual forms of all three, so any
+    change to any input — a different net, a flipped option, a resized cell
+    — yields a new key, while re-building the same design from scratch
+    yields the same one.
+
+    The canonical forms spell out every record field explicitly; adding a
+    field to {!Synth.Flow.options} or {!Cells.Cell.t} is a compile error
+    here until the fingerprint learns about it, which is exactly the
+    safety property a persistent cache needs. *)
+
+val options : Synth.Flow.options -> string
+(** Canonical text of a flow-option record. *)
+
+val library : Cells.Library.t -> string
+(** Canonical text of a cell library (name, every cell's function, area and
+    delay — bit-exact floats). *)
+
+val job :
+  lib:Cells.Library.t -> options:Synth.Flow.options -> Rtl.Design.t -> string
+(** Hex MD5 key for (design, options, library). *)

@@ -6,10 +6,30 @@ let annotated_flow = { Synth.Flow.default with honor_generator_annots = true }
 
 let retimed_flow = { Synth.Flow.default with retime = true }
 
+(* All figure synthesis funnels through the process-wide engine: repeated
+   (design, options) pairs are served from its cache and batches run on its
+   worker pool when the front-end configured -j. The default engine uses
+   vt90, matching [lib]. *)
+let engine () = Engine.default ()
+
 let compile_report ?options d =
-  (Synth.Flow.compile ?options lib d).Synth.Flow.report
+  Engine.report_exn (engine ()) (Engine.job ?options d)
 
 let compile_area ?options d = Synth.Map.total (compile_report ?options d)
+
+let reports jobs =
+  let e = engine () in
+  List.map2
+    (fun (j : Engine.job) outcome ->
+      match outcome with
+      | Ok (s : Engine.Summary.t) -> s.Engine.Summary.report
+      | Error err ->
+        failwith
+          (Printf.sprintf "synthesis job %s failed: %s" j.Engine.jname
+             (Engine.Pool.error_message err)))
+    jobs (Engine.run e jobs)
+
+let areas jobs = List.map Synth.Map.total (reports jobs)
 
 let geomean = function
   | [] -> 1.0

@@ -1,4 +1,8 @@
-(** Shared helpers for the paper-figure experiments. *)
+(** Shared helpers for the paper-figure experiments.
+
+    Synthesis goes through the process-wide {!Engine.default} engine, so
+    figure sweeps pick up result caching and [-j] parallelism from whatever
+    the front-end configured. *)
 
 val lib : Cells.Library.t
 
@@ -13,6 +17,13 @@ val compile_area : ?options:Synth.Flow.options -> Rtl.Design.t -> float
 (** Total mapped area of the optimized design. *)
 
 val compile_report : ?options:Synth.Flow.options -> Rtl.Design.t -> Synth.Map.report
+
+val reports : Engine.job list -> Synth.Map.report list
+(** One batch through the engine — cache-deduplicated, parallel when the
+    engine has workers. Results in job order.
+    @raise Failure naming the first job whose compile failed. *)
+
+val areas : Engine.job list -> float list
 
 val geomean : float list -> float
 (** Geometric mean; 1.0 on the empty list. *)

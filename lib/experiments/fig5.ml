@@ -10,23 +10,32 @@ let quick_grid =
   [ (2, 2); (8, 4); (16, 4); (32, 16); (64, 16); (256, 4); (1024, 2) ]
 
 let run ?(seeds = [ 0; 1; 2 ]) ?(grid = Workload.Rand_table.paper_grid) () =
-  let point (depth, width) seed =
-    let tt = Workload.Rand_table.generate ~seed ~depth ~width in
-    let flexible =
-      Synth.Partial_eval.bind_tables
-        (Core.Truth_table.to_flexible_rtl tt)
-        [ Core.Truth_table.config_binding tt ]
-    in
-    let direct = Core.Truth_table.to_sop_rtl tt in
-    {
-      depth;
-      width;
-      seed;
-      table_area = Exp_common.compile_area flexible;
-      sop_area = Exp_common.compile_area direct;
-    }
+  let points =
+    List.concat_map (fun cell -> List.map (fun seed -> (cell, seed)) seeds) grid
   in
-  List.concat_map (fun cell -> List.map (point cell) seeds) grid
+  (* Designs are generated up front; the compiles go to the engine as one
+     batch so a parallel engine spreads the whole sweep over its workers. *)
+  let jobs =
+    List.concat_map
+      (fun ((depth, width), seed) ->
+        let tt = Workload.Rand_table.generate ~seed ~depth ~width in
+        let flexible =
+          Synth.Partial_eval.bind_tables
+            (Core.Truth_table.to_flexible_rtl tt)
+            [ Core.Truth_table.config_binding tt ]
+        in
+        let direct = Core.Truth_table.to_sop_rtl tt in
+        [ Engine.job flexible; Engine.job direct ])
+      points
+  in
+  let rec pair points areas =
+    match (points, areas) with
+    | [], [] -> []
+    | ((depth, width), seed) :: ps, table_area :: sop_area :: rest ->
+      { depth; width; seed; table_area; sop_area } :: pair ps rest
+    | _ -> assert false
+  in
+  pair points (Exp_common.areas jobs)
 
 let print rows =
   let body =

@@ -11,26 +11,35 @@ type row = {
 let quick_grid = [ (2, 2, 2); (2, 8, 3); (2, 16, 17); (8, 8, 8); (8, 2, 17) ]
 
 let run ?(seeds = [ 0; 1; 2 ]) ?(grid = Workload.Rand_fsm.paper_grid) () =
-  let point (m, n, s) seed =
-    let fsm =
-      Workload.Rand_fsm.generate ~seed ~num_inputs:m ~num_outputs:n ~num_states:s
-    in
-    let bind d = Synth.Partial_eval.bind_tables d (Core.Fsm_ir.config_bindings fsm) in
-    let direct = Core.Fsm_ir.to_direct_rtl fsm in
-    let regular = bind (Core.Fsm_ir.to_flexible_rtl ~annotate:false fsm) in
-    let annotated = bind (Core.Fsm_ir.to_flexible_rtl ~annotate:true fsm) in
-    {
-      m;
-      n;
-      s;
-      seed;
-      direct_area = Exp_common.compile_area direct;
-      regular_area = Exp_common.compile_area regular;
-      annotated_area =
-        Exp_common.compile_area ~options:Exp_common.annotated_flow annotated;
-    }
+  let points =
+    List.concat_map (fun cell -> List.map (fun seed -> (cell, seed)) seeds) grid
   in
-  List.concat_map (fun cell -> List.map (point cell) seeds) grid
+  let jobs =
+    List.concat_map
+      (fun ((m, n, s), seed) ->
+        let fsm =
+          Workload.Rand_fsm.generate ~seed ~num_inputs:m ~num_outputs:n
+            ~num_states:s
+        in
+        let bind d =
+          Synth.Partial_eval.bind_tables d (Core.Fsm_ir.config_bindings fsm)
+        in
+        [ Engine.job (Core.Fsm_ir.to_direct_rtl fsm);
+          Engine.job (bind (Core.Fsm_ir.to_flexible_rtl ~annotate:false fsm));
+          Engine.job ~options:Exp_common.annotated_flow
+            (bind (Core.Fsm_ir.to_flexible_rtl ~annotate:true fsm)) ])
+      points
+  in
+  let rec pair points areas =
+    match (points, areas) with
+    | [], [] -> []
+    | ((m, n, s), seed) :: ps,
+      direct_area :: regular_area :: annotated_area :: rest ->
+      { m; n; s; seed; direct_area; regular_area; annotated_area }
+      :: pair ps rest
+    | _ -> assert false
+  in
+  pair points (Exp_common.areas jobs)
 
 let print rows =
   let body =

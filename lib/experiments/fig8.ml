@@ -20,25 +20,34 @@ let flow_of = function
 
 let run ?(widths = Onehot_design.paper_widths)
     ?(styles = Onehot_design.all_styles) () =
-  let point n (style_name, style) variant =
-    let generic = Onehot_design.generic ~n ~style in
-    let direct = Onehot_design.direct ~n ~style in
-    let options = flow_of variant in
-    {
-      n;
-      style_name;
-      variant;
-      generic_area = Exp_common.compile_area ~options generic;
-      direct_area = Exp_common.compile_area ~options direct;
-    }
+  let points =
+    List.concat_map
+      (fun n ->
+        List.concat_map
+          (fun style ->
+            List.map
+              (fun variant -> (n, style, variant))
+              [ Regular; Retimed; Annotated ])
+          styles)
+      widths
   in
-  List.concat_map
-    (fun n ->
-      List.concat_map
-        (fun style ->
-          List.map (point n style) [ Regular; Retimed; Annotated ])
-        styles)
-    widths
+  let jobs =
+    List.concat_map
+      (fun (n, (_, style), variant) ->
+        let options = flow_of variant in
+        [ Engine.job ~options (Onehot_design.generic ~n ~style);
+          Engine.job ~options (Onehot_design.direct ~n ~style) ])
+      points
+  in
+  let rec pair points areas =
+    match (points, areas) with
+    | [], [] -> []
+    | (n, (style_name, _), variant) :: ps,
+      generic_area :: direct_area :: rest ->
+      { n; style_name; variant; generic_area; direct_area } :: pair ps rest
+    | _ -> assert false
+  in
+  pair points (Exp_common.areas jobs)
 
 let print rows =
   let body =

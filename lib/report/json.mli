@@ -1,0 +1,21 @@
+(** Minimal JSON emission for machine-readable benchmark output.
+
+    Emission only — the harness writes results, nothing here reads them.
+    Floats render with the shortest decimal form that round-trips
+    ([%.15g], widened to [%.17g] when needed); NaN and infinities, which
+    JSON cannot express, render as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact one-line form. *)
+
+val to_channel : out_channel -> t -> unit
+(** [to_string] plus a trailing newline. *)

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Formatting gate for CI (also runnable locally): enforce the whitespace
+# invariants a formatter would, across all tracked OCaml/dune/doc sources.
+#   - no tab characters in OCaml sources or dune files
+#   - no trailing whitespace
+#   - every file ends with a final newline
+set -u
+
+fail=0
+
+files=$(git ls-files -- '*.ml' '*.mli' '*.md' '*.sh' '*.yml' 'dune-project' \
+  '*/dune' 'dune' ':!:*.data')
+
+for f in $files; do
+  [ -f "$f" ] || continue
+  case "$f" in
+    *.ml | *.mli | dune | */dune | dune-project)
+      if grep -nP '\t' "$f" >/dev/null; then
+        echo "error: tab character in $f:" >&2
+        grep -nP '\t' "$f" | head -3 >&2
+        fail=1
+      fi
+      ;;
+  esac
+  if grep -nE ' +$' "$f" >/dev/null; then
+    echo "error: trailing whitespace in $f:" >&2
+    grep -nE ' +$' "$f" | head -3 >&2
+    fail=1
+  fi
+  if [ -s "$f" ] && [ -n "$(tail -c 1 "$f")" ]; then
+    echo "error: no final newline in $f" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "formatting gate failed; fix the issues above" >&2
+  exit 1
+fi
+echo "formatting gate passed ($(echo "$files" | wc -w) files checked)"

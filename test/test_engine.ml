@@ -1,0 +1,275 @@
+(* The synthesis job engine: fingerprint identity, summary/disk-cache
+   round-trips, worker-pool semantics, and end-to-end determinism of a
+   figure sweep across worker counts and cache temperatures. *)
+
+let lib = Cells.Library.vt90
+
+let fsm_design seed =
+  let fsm =
+    Workload.Rand_fsm.generate ~seed ~num_inputs:2 ~num_outputs:4
+      ~num_states:5
+  in
+  Synth.Partial_eval.bind_tables
+    (Core.Fsm_ir.to_flexible_rtl ~annotate:true fsm)
+    (Core.Fsm_ir.config_bindings fsm)
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "engine-test-%d-%d" (Unix.getpid ()) !counter)
+    in
+    (* Cache.create makes the directory itself. *)
+    d
+
+(* ---------------------------------------------------------- fingerprint *)
+
+let test_fingerprint_stable () =
+  (* Rebuilding the identical design from scratch yields the same key. *)
+  let key d = Engine.Fingerprint.job ~lib ~options:Synth.Flow.default d in
+  Alcotest.(check string)
+    "same design, same options, same lib"
+    (key (fsm_design 3)) (key (fsm_design 3))
+
+let test_fingerprint_sensitivity () =
+  let d = fsm_design 3 in
+  let base = Engine.Fingerprint.job ~lib ~options:Synth.Flow.default d in
+  let distinct what key =
+    if key = base then Alcotest.failf "%s did not change the fingerprint" what
+  in
+  distinct "different design"
+    (Engine.Fingerprint.job ~lib ~options:Synth.Flow.default (fsm_design 4));
+  let o = Synth.Flow.default in
+  let variants =
+    [ ("collapse_cap", { o with Synth.Flow.collapse_cap = 13 });
+      ("espresso_iters", { o with Synth.Flow.espresso_iters = 4 });
+      ("honor_tool_annots", { o with Synth.Flow.honor_tool_annots = false });
+      ("honor_generator_annots",
+       { o with Synth.Flow.honor_generator_annots = true });
+      ("annot_width_cap", { o with Synth.Flow.annot_width_cap = 31 });
+      ("retime", { o with Synth.Flow.retime = true });
+      ("stateprop", { o with Synth.Flow.stateprop = false });
+      ("self_check", { o with Synth.Flow.self_check = true }) ]
+  in
+  List.iter
+    (fun (what, options) ->
+      distinct ("option " ^ what) (Engine.Fingerprint.job ~lib ~options d))
+    variants;
+  (* A resized cell re-keys the whole library. *)
+  let tweaked =
+    match lib.Cells.Library.cells with
+    | c :: rest ->
+      { lib with
+        Cells.Library.cells =
+          { c with Cells.Cell.area = c.Cells.Cell.area +. 0.25 } :: rest }
+    | [] -> assert false
+  in
+  distinct "library cell area"
+    (Engine.Fingerprint.job ~lib:tweaked ~options:Synth.Flow.default d)
+
+(* -------------------------------------------------------------- summary *)
+
+let compile_summary d =
+  Engine.Summary.of_flow ~wall_s:0.015625
+    (Synth.Flow.compile lib d)
+
+let test_summary_roundtrip () =
+  let s = compile_summary (fsm_design 7) in
+  match Engine.Summary.of_string (Engine.Summary.to_string s) with
+  | Error m -> Alcotest.failf "summary did not parse back: %s" m
+  | Ok s' ->
+    (* Bit-exact round-trip, floats included: polymorphic equality. *)
+    if s <> s' then
+      Alcotest.failf "summary round-trip not identical:@.%s@.vs@.%s"
+        (Engine.Summary.to_string s) (Engine.Summary.to_string s')
+
+let test_summary_rejects_garbage () =
+  (match Engine.Summary.of_string "not a summary" with
+   | Ok _ -> Alcotest.fail "parsed garbage"
+   | Error _ -> ());
+  match Engine.Summary.of_string "ctrlgen-summary v1\ncomb_area nope\n" with
+  | Ok _ -> Alcotest.fail "parsed bad float"
+  | Error _ -> ()
+
+(* ----------------------------------------------------------- disk cache *)
+
+let test_cache_disk_roundtrip () =
+  let dir = fresh_dir () in
+  let s = compile_summary (fsm_design 11) in
+  let c1 = Engine.Cache.create ~dir () in
+  Engine.Cache.store c1 "somekey" s;
+  (* A different cache instance over the same directory sees the entry. *)
+  let c2 = Engine.Cache.create ~dir () in
+  (match Engine.Cache.find c2 "somekey" with
+   | Some (s', `Disk) when s' = s -> ()
+   | Some (_, `Disk) -> Alcotest.fail "disk entry differs from stored summary"
+   | Some (_, `Memory) -> Alcotest.fail "expected a disk hit"
+   | None -> Alcotest.fail "entry not found on disk");
+  (* Second lookup is served from memory. *)
+  (match Engine.Cache.find c2 "somekey" with
+   | Some (_, `Memory) -> ()
+   | _ -> Alcotest.fail "expected a memory hit");
+  let stats = Engine.Cache.stats c2 in
+  Alcotest.(check int) "disk hits" 1 stats.Engine.Cache.disk_hits;
+  Alcotest.(check int) "mem hits" 1 stats.Engine.Cache.mem_hits;
+  (* A corrupt entry is a miss, not a crash. *)
+  Out_channel.with_open_text
+    (Filename.concat dir "badkey.summary")
+    (fun oc -> Out_channel.output_string oc "garbage");
+  (match Engine.Cache.find c2 "badkey" with
+   | None -> ()
+   | Some _ -> Alcotest.fail "corrupt entry should miss")
+
+(* ----------------------------------------------------------------- pool *)
+
+let test_pool_isolation_and_order () =
+  let f x = if x mod 4 = 0 then failwith (Printf.sprintf "boom %d" x) else x * x in
+  let results = Engine.Pool.map ~jobs:3 f [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ] in
+  List.iteri
+    (fun i r ->
+      let x = i + 1 in
+      match r with
+      | Ok y -> Alcotest.(check int) (Printf.sprintf "slot %d" x) (x * x) y
+      | Error (Engine.Pool.Exn { exn; _ }) ->
+        if x mod 4 <> 0 then Alcotest.failf "unexpected error at %d: %s" x exn
+      | Error e ->
+        Alcotest.failf "unexpected error kind at %d: %s" x
+          (Engine.Pool.error_message e))
+    results;
+  Alcotest.(check int) "result count" 9 (List.length results)
+
+let test_pool_timeout () =
+  let f x =
+    if x = 1 then Unix.sleepf 0.05;
+    x
+  in
+  let check_results results =
+    (match List.nth results 0 with
+     | Error (Engine.Pool.Timeout _) -> ()
+     | Ok _ -> Alcotest.fail "slow job should have timed out"
+     | Error e ->
+       Alcotest.failf "expected timeout, got %s" (Engine.Pool.error_message e));
+    match List.nth results 1 with
+    | Ok 2 -> ()
+    | _ -> Alcotest.fail "fast job should succeed"
+  in
+  (* Same semantics inline and on domains. *)
+  check_results (Engine.Pool.map ~jobs:1 ~timeout_s:0.01 f [ 1; 2 ]);
+  check_results (Engine.Pool.map ~jobs:2 ~timeout_s:0.01 f [ 1; 2 ])
+
+let test_pool_cancel () =
+  let pool = Engine.Pool.create ~jobs:1 () in
+  let slow = Engine.Pool.submit pool (fun () -> Unix.sleepf 0.05; 1) in
+  let queued = Engine.Pool.submit pool (fun () -> 2) in
+  Engine.Pool.cancel queued;
+  (match Engine.Pool.await queued with
+   | Error Engine.Pool.Cancelled -> ()
+   | Ok _ -> Alcotest.fail "cancelled job ran anyway"
+   | Error e ->
+     Alcotest.failf "expected cancelled, got %s" (Engine.Pool.error_message e));
+  (match Engine.Pool.await slow with
+   | Ok 1 -> ()
+   | _ -> Alcotest.fail "running job should finish normally");
+  Engine.Pool.shutdown pool
+
+(* --------------------------------------------------------------- engine *)
+
+let test_engine_coalesces_and_isolates () =
+  let e = Engine.create ~jobs:1 lib in
+  let d = fsm_design 13 in
+  let outcomes = Engine.run e [ Engine.job d; Engine.job d; Engine.job d ] in
+  (match outcomes with
+   | [ Ok a; Ok b; Ok c ] when a = b && b = c -> ()
+   | _ -> Alcotest.fail "identical jobs should share one result");
+  let s = Engine.stats e in
+  Alcotest.(check int) "executed once" 1 s.Engine.executed;
+  Alcotest.(check int) "coalesced twice" 2 s.Engine.mem_hits;
+  (* A malformed design (nets referencing inputs that are gone) crashes its
+     own job during lowering and nothing else. *)
+  let bad_design = { d with Rtl.Design.inputs = [] } in
+  let outcomes = Engine.run e [ Engine.job bad_design; Engine.job d ] in
+  (match outcomes with
+   | [ Error (Engine.Pool.Exn _); Ok _ ] -> ()
+   | [ Error e1; _ ] ->
+     Alcotest.failf "expected Exn error, got %s"
+       (Engine.Pool.error_message e1)
+   | _ -> Alcotest.fail "crashing job must not poison its batch")
+
+(* fig5's quick grid, one seed: the determinism workhorse. *)
+let fig5_rows () =
+  Experiments.Fig5.run ~seeds:[ 0 ] ~grid:Experiments.Fig5.quick_grid ()
+
+let check_rows_equal what (a : Experiments.Fig5.row list) b =
+  (* Bit-identical areas: polymorphic equality on the float-carrying rows. *)
+  if a <> b then Alcotest.failf "%s: fig5 rows differ" what
+
+let test_determinism_parallel () =
+  Engine.set_default (Engine.create ~jobs:1 lib);
+  let seq = fig5_rows () in
+  Engine.set_default (Engine.create ~jobs:4 lib);
+  let par = fig5_rows () in
+  check_rows_equal "sequential vs -j 4" seq par;
+  let s = Engine.stats (Engine.default ()) in
+  Alcotest.(check int) "parallel run missed everything"
+    s.Engine.submitted s.Engine.executed;
+  (* Same engine again: everything is a cache hit and nothing recompiles. *)
+  let warm = fig5_rows () in
+  check_rows_equal "cold vs warm (memory)" seq warm;
+  let s' = Engine.stats (Engine.default ()) in
+  Alcotest.(check int) "warm run executed nothing"
+    s.Engine.executed s'.Engine.executed;
+  if s'.Engine.mem_hits <= s.Engine.mem_hits then
+    Alcotest.fail "warm run reported no cache hits"
+
+let test_determinism_disk_cache () =
+  let dir = fresh_dir () in
+  Engine.set_default (Engine.create ~jobs:1 ~cache_dir:dir lib);
+  let cold = fig5_rows () in
+  (* Fresh process-equivalent: new engine, same directory. *)
+  Engine.set_default (Engine.create ~jobs:1 ~cache_dir:dir lib);
+  let warm = fig5_rows () in
+  check_rows_equal "cold vs warm (disk)" cold warm;
+  let s = Engine.stats (Engine.default ()) in
+  Alcotest.(check int) "warm disk run executed nothing" 0 s.Engine.executed;
+  if s.Engine.disk_hits = 0 then Alcotest.fail "no disk hits on warm run";
+  (* Restore a clean default for any later test. *)
+  Engine.set_default (Engine.create ~jobs:1 lib)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "fingerprint",
+        [
+          Alcotest.test_case "stable across rebuilds" `Quick
+            test_fingerprint_stable;
+          Alcotest.test_case "sensitive to every input" `Quick
+            test_fingerprint_sensitivity;
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "text round-trip" `Quick test_summary_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_summary_rejects_garbage;
+        ] );
+      ( "cache",
+        [ Alcotest.test_case "disk round-trip" `Quick test_cache_disk_roundtrip ] );
+      ( "pool",
+        [
+          Alcotest.test_case "exception isolation, order" `Quick
+            test_pool_isolation_and_order;
+          Alcotest.test_case "timeout" `Quick test_pool_timeout;
+          Alcotest.test_case "cancellation" `Quick test_pool_cancel;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "coalescing and isolation" `Quick
+            test_engine_coalesces_and_isolates;
+          Alcotest.test_case "fig5 sequential = -j 4 = warm" `Quick
+            test_determinism_parallel;
+          Alcotest.test_case "fig5 cold = warm disk cache" `Quick
+            test_determinism_disk_cache;
+        ] );
+    ]

@@ -51,10 +51,18 @@ let test_fib_golden () =
 (* ------------------------------------------------------------ hardware *)
 
 let rtl_matches_golden program =
-  let golden = Ucpu.Isa.run ~program () in
+  (* Bound the golden run so that, at the documented 2-3 cycles per
+     instruction, the worst case still fits under the RTL cycle cap below —
+     otherwise a long-but-halting random program times out on the RTL side
+     and is misreported as a mismatch. *)
+  let golden = Ucpu.Isa.run ~max_steps:1200 ~program () in
   QCheck.assume golden.Ucpu.Isa.halted;
   let d = Ucpu.Machine.specialized ~program () in
-  let st, cycles = Ucpu.Machine.run_rtl ~max_cycles:4000 d in
+  let max_cycles = 4000 in
+  let st, cycles = Ucpu.Machine.run_rtl ~max_cycles d in
+  if cycles >= max_cycles then
+    QCheck.Test.fail_reportf "RTL machine did not halt within %d cycles"
+      max_cycles;
   let acc = Bitvec.to_int (Rtl.Eval.peek st "acc") in
   if acc <> golden.Ucpu.Isa.acc then
     QCheck.Test.fail_reportf "acc %d vs golden %d (in %d cycles)" acc
