@@ -4,21 +4,30 @@
 
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe fig5       -- one figure
+     dune exec bench/main.exe fault      -- fault-vulnerability comparison
      dune exec bench/main.exe quick      -- subsampled smoke run
      dune exec bench/main.exe perf       -- Bechamel pass benchmarks only
 
    Engine flags (combine with any command):
      -j N             run synthesis jobs on N worker domains (0 = auto)
+     --timeout-s S    per-job timeout, measured from submission
+     --retries N      re-run failed jobs up to N times (exp. backoff)
      --cache-dir DIR  persist synthesis results across runs
      --no-cache       disable result caching entirely
      --json PATH      also write figure rows + engine stats as JSON
 
    Figure tables go to stdout; engine statistics go to stderr, so stdout is
-   byte-identical across -j values and cache temperatures. *)
+   byte-identical across -j values and cache temperatures. A sweep with
+   failed compiles still prints every figure (failed cells render as FAIL)
+   and exits 1 after listing the failures on stderr. *)
 
 module Json = Report.Json
 
 (* ------------------------------------------------- figure rows as JSON *)
+
+(* A failed compile renders as null (JSON has no better spelling); the
+   message lands in the top-level "failures" array instead. *)
+let area_json = function Ok a -> Json.Float a | Error _ -> Json.Null
 
 let fig5_json rows =
   Json.List
@@ -27,8 +36,8 @@ let fig5_json rows =
          Json.Obj
            [ ("depth", Json.Int r.depth); ("width", Json.Int r.width);
              ("seed", Json.Int r.seed);
-             ("table_area", Json.Float r.table_area);
-             ("sop_area", Json.Float r.sop_area) ])
+             ("table_area", area_json r.table_area);
+             ("sop_area", area_json r.sop_area) ])
        rows)
 
 let fig6_json rows =
@@ -38,9 +47,9 @@ let fig6_json rows =
          Json.Obj
            [ ("m", Json.Int r.m); ("n", Json.Int r.n); ("s", Json.Int r.s);
              ("seed", Json.Int r.seed);
-             ("direct_area", Json.Float r.direct_area);
-             ("regular_area", Json.Float r.regular_area);
-             ("annotated_area", Json.Float r.annotated_area) ])
+             ("direct_area", area_json r.direct_area);
+             ("regular_area", area_json r.regular_area);
+             ("annotated_area", area_json r.annotated_area) ])
        rows)
 
 let fig8_json rows =
@@ -51,8 +60,8 @@ let fig8_json rows =
            [ ("n", Json.Int r.n); ("flop", Json.String r.style_name);
              ("variant",
               Json.String (Experiments.Fig8.variant_name r.variant));
-             ("generic_area", Json.Float r.generic_area);
-             ("direct_area", Json.Float r.direct_area) ])
+             ("generic_area", area_json r.generic_area);
+             ("direct_area", area_json r.direct_area) ])
        rows)
 
 let fig9_json rows =
@@ -100,6 +109,11 @@ let fig9 () =
   Experiments.Fig9.print rows;
   [ ("fig9", fig9_json rows) ]
 
+let fault ~sim_jobs ?timeout_s ?(sites = 48) () =
+  let rows = Experiments.Fault_cmp.run ~sites ~jobs:sim_jobs ?timeout_s () in
+  Experiments.Fault_cmp.print rows;
+  [ ("fault", Experiments.Fault_cmp.to_json rows) ]
+
 let quick () =
   let r5 =
     Experiments.Fig5.run ~seeds:[ 0 ] ~grid:Experiments.Fig5.quick_grid ()
@@ -113,8 +127,11 @@ let quick () =
   Experiments.Fig8.print r8;
   let r9 = Experiments.Fig9.run () in
   Experiments.Fig9.print r9;
+  let fault_rows = Experiments.Fault_cmp.run ~sites:8 () in
+  Experiments.Fault_cmp.print fault_rows;
   [ ("fig5", fig5_json r5); ("fig6", fig6_json r6); ("fig8", fig8_json r8);
-    ("fig9", fig9_json r9) ]
+    ("fig9", fig9_json r9);
+    ("fault", Experiments.Fault_cmp.to_json fault_rows) ]
 
 let ablations () =
   Experiments.Ablation.cone_cap ();
@@ -205,9 +222,11 @@ let perf () =
   print_newline ();
   []
 
-let all () =
+let all ~sim_jobs ?timeout_s () =
   let figs =
-    List.concat [ fig5 (); fig6 (); fig8 (); fig9 (); ablations (); perf () ]
+    List.concat
+      [ fig5 (); fig6 (); fig8 (); fig9 ();
+        fault ~sim_jobs ?timeout_s (); ablations (); perf () ]
   in
   figs
 
@@ -218,21 +237,26 @@ let engine_stats_json (s : Engine.stats) =
     [ ("submitted", Json.Int s.Engine.submitted);
       ("executed", Json.Int s.Engine.executed);
       ("failed", Json.Int s.Engine.failed);
+      ("retried", Json.Int s.Engine.retried);
       ("mem_hits", Json.Int s.Engine.mem_hits);
       ("disk_hits", Json.Int s.Engine.disk_hits);
+      ("quarantined", Json.Int s.Engine.quarantined);
       ("wall_s", Json.Float s.Engine.wall_s);
       ("cpu_s", Json.Float s.Engine.cpu_s) ]
 
 let usage () =
   prerr_endline
     "usage: main.exe \
-     [all|quick|fig5|fig6|fig8|fig9|ablations|ablate-cone|ablate-twolevel|ablate-cap|ablate-encodings|ablate-library|ablate-ucode|perf]\n\
-     \       [-j N] [--cache-dir DIR] [--no-cache] [--json PATH]";
+     [all|quick|fig5|fig6|fig8|fig9|fault|ablations|ablate-cone|ablate-twolevel|ablate-cap|ablate-encodings|ablate-library|ablate-ucode|perf]\n\
+     \       [-j N] [--timeout-s S] [--retries N] [--cache-dir DIR] \
+     [--no-cache] [--json PATH]";
   exit 2
 
 let () =
   let commands = ref [] in
   let jobs = ref 1 in
+  let timeout_s = ref None in
+  let retries = ref 0 in
   let cache_dir = ref None in
   let no_cache = ref false in
   let json_path = ref None in
@@ -244,6 +268,18 @@ let () =
        | _ -> usage ());
       parse rest
     | [ "-j" ] | [ "--jobs" ] -> usage ()
+    | "--timeout-s" :: s :: rest ->
+      (match float_of_string_opt s with
+       | Some s when s > 0.0 -> timeout_s := Some s
+       | _ -> usage ());
+      parse rest
+    | [ "--timeout-s" ] -> usage ()
+    | "--retries" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some n when n >= 0 -> retries := n
+       | _ -> usage ());
+      parse rest
+    | [ "--retries" ] -> usage ()
     | "--cache-dir" :: dir :: rest ->
       cache_dir := Some dir;
       parse rest
@@ -262,21 +298,25 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   (match
      Engine.create ~jobs:!jobs ?cache_dir:!cache_dir ~no_cache:!no_cache
-       Cells.Library.vt90
+       ?timeout_s:!timeout_s ~retries:!retries Cells.Library.vt90
    with
   | e -> Engine.set_default e
   | exception Invalid_argument msg ->
     Printf.eprintf "error: %s\n" msg;
     exit 2);
+  let sim_jobs =
+    if !jobs = 0 then Domain.recommended_domain_count () else !jobs
+  in
   let command = match !commands with [] -> "all" | c :: _ -> c in
   (match !commands with [] | [ _ ] -> () | _ -> usage ());
   let figures =
     match command with
-    | "all" -> all ()
+    | "all" -> all ~sim_jobs ?timeout_s:!timeout_s ()
     | "fig5" -> fig5 ()
     | "fig6" -> fig6 ()
     | "fig8" -> fig8 ()
     | "fig9" -> fig9 ()
+    | "fault" -> fault ~sim_jobs ?timeout_s:!timeout_s ()
     | "quick" -> quick ()
     | "perf" -> perf ()
     | "ablate-cone" -> Experiments.Ablation.cone_cap (); []
@@ -290,16 +330,24 @@ let () =
   in
   let stats = Engine.stats (Engine.default ()) in
   prerr_string (Engine.stats_table stats);
+  let failures = Experiments.Exp_common.failures () in
   Option.iter
     (fun path ->
       let doc =
         Json.Obj
           [ ("command", Json.String command);
             ("figures", Json.Obj figures);
+            ("failures",
+             Json.List (List.map (fun m -> Json.String m) failures));
             ("engine", engine_stats_json stats) ]
       in
       try Out_channel.with_open_text path (fun oc -> Json.to_channel oc doc)
       with Sys_error msg ->
         Printf.eprintf "error: cannot write JSON output: %s\n" msg;
         exit 2)
-    !json_path
+    !json_path;
+  if failures <> [] then begin
+    Printf.eprintf "%d synthesis job(s) failed:\n" (List.length failures);
+    List.iter (fun m -> Printf.eprintf "  %s\n" m) failures;
+    exit 1
+  end

@@ -7,6 +7,7 @@
                  gate-level netlist or AIGER; optionally with a user cell
                  library (Liberty-lite)
      pctrl       build and synthesize the protocol-controller case study
+     fault       run a fault-injection campaign on the PCtrl case study
      experiment  regenerate a paper figure or ablation *)
 
 open Cmdliner
@@ -30,6 +31,9 @@ let flow_options ~annotate ~retime =
 type engine_cli = {
   reconfigure : Cells.Library.t -> unit;
   report_stats : unit -> unit;
+  sim_jobs : int;  (** resolved -j value for simulation batches *)
+  timeout_s : float option;
+  retries : int;
 }
 
 let engine_term =
@@ -57,15 +61,45 @@ let engine_term =
     Arg.(value & flag
          & info [ "no-cache" ] ~doc:"Disable synthesis result caching.")
   in
+  let timeout_s =
+    let pos_float =
+      Arg.conv
+        ( (fun s ->
+            match float_of_string_opt s with
+            | Some f when f > 0.0 -> Ok f
+            | _ -> Error (`Msg "expected a positive number of seconds")),
+          Format.pp_print_float )
+    in
+    Arg.(value & opt (some pos_float) None
+         & info [ "timeout-s" ] ~docv:"S"
+             ~doc:"Abandon any job still running $(docv) seconds after \
+                   submission (the result settles as a timeout error; see \
+                   the pool docs for the cooperative-cancellation caveat).")
+  in
+  let retries =
+    let nonneg =
+      Arg.conv
+        ( (fun s ->
+            match int_of_string_opt s with
+            | Some n when n >= 0 -> Ok n
+            | _ -> Error (`Msg "expected a non-negative integer")),
+          Format.pp_print_int )
+    in
+    Arg.(value & opt nonneg 0
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Re-run failed jobs up to $(docv) extra times with \
+                   bounded exponential backoff.")
+  in
   let stats =
     Arg.(value & flag
          & info [ "engine-stats" ]
-             ~doc:"Print job-engine statistics (hits, misses, wall vs cpu \
-                   time) to stderr after the run.")
+             ~doc:"Print job-engine statistics (hits, misses, retries, \
+                   quarantined cache entries, wall vs cpu time) to stderr \
+                   after the run.")
   in
-  let setup jobs cache_dir no_cache stats =
+  let setup jobs cache_dir no_cache timeout_s retries stats =
     let reconfigure l =
-      match Engine.create ~jobs ?cache_dir ~no_cache l with
+      match Engine.create ~jobs ?cache_dir ~no_cache ?timeout_s ~retries l with
       | e -> Engine.set_default e
       | exception Invalid_argument msg ->
         Printf.eprintf "ctrlgen: %s\n" msg;
@@ -79,9 +113,12 @@ let engine_term =
           if stats then
             prerr_string
               (Engine.stats_table (Engine.stats (Engine.default ()))));
+      sim_jobs = (if jobs = 0 then Domain.recommended_domain_count () else jobs);
+      timeout_s;
+      retries;
     }
   in
-  Term.(const setup $ jobs $ cache_dir $ no_cache $ stats)
+  Term.(const setup $ jobs $ cache_dir $ no_cache $ timeout_s $ retries $ stats)
 
 let engine_report ?options d =
   Engine.report_exn (Engine.default ()) (Engine.job ?options d)
@@ -326,6 +363,144 @@ let design_cmd =
     Term.(const run $ engine_term $ file $ liberty $ verilog $ netlist
           $ aiger $ do_synth)
 
+(* ------------------------------------------------------------------ fault *)
+
+let fault_cmd =
+  let run eng impl mode model seed sites cycles journal_path resume_path
+      crash_after vcd_path =
+    let impl =
+      match impl with
+      | `Flexible -> Experiments.Fault_cmp.Flexible
+      | `Bound -> Experiments.Fault_cmp.Bound
+    in
+    let spec = Experiments.Fault_cmp.spec_of ~cycles ~mode impl in
+    (* The stuck-at population lives on the synthesized netlist; other
+       models never need the compile. *)
+    let aig =
+      match model with
+      | Fault.Campaign.Stuck | Fault.Campaign.All ->
+        let result = Synth.Flow.compile lib spec.Fault.Sim.design in
+        Some { Fault.Sim.aig = result.Synth.Flow.aig; cycles; seed }
+      | Fault.Campaign.Control | Fault.Campaign.Tables | Fault.Campaign.Regs ->
+        None
+    in
+    let journal = Option.map Engine.Journal.open_append journal_path in
+    let resume =
+      match resume_path with
+      | None -> []
+      | Some path ->
+        let entries = Engine.Journal.load path in
+        Printf.eprintf "resuming: %d journaled site(s) from %s\n%!"
+          (List.length entries) path;
+        entries
+    in
+    let on_checkpoint =
+      Option.map
+        (fun k n ->
+          if n >= k then begin
+            Printf.eprintf "crash-after: exiting after %d journaled site(s)\n%!"
+              n;
+            exit 3
+          end)
+        crash_after
+    in
+    let report =
+      Fault.Campaign.run ~jobs:eng.sim_jobs ?timeout_s:eng.timeout_s
+        ~retries:eng.retries ?journal ~resume ?on_checkpoint ?aig ~seed ~sites
+        ~model spec
+    in
+    Option.iter Engine.Journal.close journal;
+    Fault.Campaign.print stdout report;
+    Option.iter
+      (fun path ->
+        match Fault.Campaign.first_mismatch report with
+        | None -> prerr_endline "ctrlgen: no mismatching site; VCD not written"
+        | Some (Fault.Site.Stuck_at _ as site) ->
+          Printf.eprintf
+            "ctrlgen: first mismatch %s is a netlist fault; no RTL trace\n"
+            (Fault.Site.key site)
+        | Some site ->
+          Out_channel.with_open_text path (fun oc ->
+              output_string oc (Fault.Sim.vcd_site spec site));
+          Printf.eprintf "ctrlgen: wrote %s (site %s)\n" path
+            (Fault.Site.key site))
+      vcd_path;
+    eng.report_stats ();
+    if report.Fault.Campaign.failed > 0 then exit 1
+  in
+  let impl_arg =
+    Arg.(value
+         & opt (enum [ ("flexible", `Flexible); ("bound", `Bound) ]) `Flexible
+         & info [ "impl" ]
+             ~doc:"Implementation under test: $(b,flexible) (configuration \
+                   memories bound at run time) or $(b,bound) (partially \
+                   evaluated).")
+  in
+  let mode_arg =
+    Arg.(value
+         & opt
+             (enum
+                [ ("cached", Pctrl.Controller.Cached);
+                  ("uncached", Pctrl.Controller.Uncached) ])
+             Pctrl.Controller.Cached
+         & info [ "mode" ] ~doc:"PCtrl protocol mode.")
+  in
+  let model_arg =
+    Arg.(value
+         & opt
+             (enum
+                [ ("all", Fault.Campaign.All);
+                  ("control", Fault.Campaign.Control);
+                  ("tables", Fault.Campaign.Tables);
+                  ("regs", Fault.Campaign.Regs);
+                  ("stuck", Fault.Campaign.Stuck) ])
+             Fault.Campaign.All
+         & info [ "model" ]
+             ~doc:"Fault model: $(b,control) (no fault — self-test), \
+                   $(b,tables) (config-memory SEU), $(b,regs) (register \
+                   upsets), $(b,stuck) (netlist stuck-at) or $(b,all).")
+  in
+  let sites_arg =
+    Arg.(value & opt int 64
+         & info [ "sites" ] ~docv:"N"
+             ~doc:"Sample at most $(docv) fault sites (0 = exhaustive).")
+  in
+  let cycles_arg =
+    Arg.(value & opt int 40
+         & info [ "cycles" ] ~docv:"N" ~doc:"Stimulus length in cycles.")
+  in
+  let journal_arg =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"PATH"
+             ~doc:"Append each classified site to the JSONL checkpoint \
+                   journal at $(docv).")
+  in
+  let resume_arg =
+    Arg.(value & opt (some string) None
+         & info [ "resume" ] ~docv:"PATH"
+             ~doc:"Skip sites already journaled in $(docv); combined with \
+                   $(b,--journal) on the same path this makes the campaign \
+                   restartable after a kill, with byte-identical output.")
+  in
+  let crash_after_arg =
+    Arg.(value & opt (some int) None
+         & info [ "crash-after" ] ~docv:"K"
+             ~doc:"Testing hook: exit(3) once $(docv) sites have been \
+                   journaled this run.")
+  in
+  let vcd_arg =
+    Arg.(value & opt (some string) None
+         & info [ "vcd" ] ~docv:"PATH"
+             ~doc:"Write the faulty trace of the first mismatching RTL site \
+                   to $(docv) as VCD.")
+  in
+  Cmd.v
+    (Cmd.info "fault"
+       ~doc:"Run a fault-injection campaign on the PCtrl case study.")
+    Term.(const run $ engine_term $ impl_arg $ mode_arg $ model_arg $ seed_arg
+          $ sites_arg $ cycles_arg $ journal_arg $ resume_arg
+          $ crash_after_arg $ vcd_arg)
+
 (* ------------------------------------------------------------- experiment *)
 
 let experiment_cmd =
@@ -335,19 +510,29 @@ let experiment_cmd =
     | "fig6" -> Experiments.Fig6.print (Experiments.Fig6.run ())
     | "fig8" -> Experiments.Fig8.print (Experiments.Fig8.run ())
     | "fig9" -> Experiments.Fig9.print (Experiments.Fig9.run ())
+    | "fault" ->
+      Experiments.Fault_cmp.print
+        (Experiments.Fault_cmp.run ~jobs:eng.sim_jobs ?timeout_s:eng.timeout_s
+           ())
     | "ablate-cone" -> Experiments.Ablation.cone_cap ()
     | "ablate-twolevel" -> Experiments.Ablation.twolevel ()
     | "ablate-cap" -> Experiments.Ablation.annot_cap ()
     | other ->
       Format.eprintf "unknown experiment %s@." other;
       exit 2);
-    eng.report_stats ()
+    eng.report_stats ();
+    (match Experiments.Exp_common.failures () with
+    | [] -> ()
+    | failures ->
+      Format.eprintf "%d synthesis job(s) failed:@." (List.length failures);
+      List.iter (fun m -> Format.eprintf "  %s@." m) failures;
+      exit 1)
   in
   let name_arg =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"NAME"
-             ~doc:"fig5, fig6, fig8, fig9, ablate-cone, ablate-twolevel or \
-                   ablate-cap.")
+             ~doc:"fig5, fig6, fig8, fig9, fault, ablate-cone, \
+                   ablate-twolevel or ablate-cap.")
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a paper figure or ablation.")
@@ -358,4 +543,8 @@ let () =
     Cmd.info "ctrlgen" ~version:"1.0.0"
       ~doc:"Controller intermediate representations for chip generators."
   in
-  exit (Cmd.eval (Cmd.group info [ synth_cmd; asm_cmd; design_cmd; pctrl_cmd; experiment_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ synth_cmd; asm_cmd; design_cmd; pctrl_cmd; fault_cmd;
+            experiment_cmd ]))

@@ -1,0 +1,113 @@
+type 'b codec = {
+  encode : 'b -> string;
+  decode : string -> ('b, string) result;
+}
+
+let retry_failures ~jobs ?timeout_s ~retries ~backoff_s f xs results =
+  (* [xs] and [results] are aligned; rerun the failed slots up to [retries]
+     times, sleeping [backoff_s * 2^attempt] before each wave. *)
+  let rec go attempt results =
+    let any_failed =
+      List.exists (function Error _ -> true | Ok _ -> false) results
+    in
+    if (not any_failed) || attempt >= retries then results
+    else begin
+      Unix.sleepf (backoff_s *. (2.0 ** float_of_int attempt));
+      let to_retry =
+        List.concat
+          (List.map2
+             (fun x r -> match r with Error _ -> [ x ] | Ok _ -> [])
+             xs results)
+      in
+      let retried = ref (Pool.map ~jobs ?timeout_s f to_retry) in
+      let results =
+        List.map
+          (function
+            | Ok _ as r -> r
+            | Error _ ->
+              (match !retried with
+               | r :: rest ->
+                 retried := rest;
+                 r
+               | [] -> assert false))
+          results
+      in
+      go (attempt + 1) results
+    end
+  in
+  go 0 results
+
+let run ?(jobs = 1) ?timeout_s ?(retries = 0) ?(backoff_s = 0.05) ?journal
+    ?(resume = []) ?chunk ?on_checkpoint ~key ~codec f items =
+  let chunk_size =
+    match chunk with Some c -> max 1 c | None -> max 1 (4 * max 1 jobs)
+  in
+  let resumed : (string, (string, string) result) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun (e : Journal.entry) ->
+      if not (Hashtbl.mem resumed e.key) then Hashtbl.add resumed e.key e.value)
+    resume;
+  (* Plan every item up front: resumed items decode from the journal, the
+     rest run. A resumed payload that no longer decodes (foreign or corrupt
+     journal) is recomputed rather than trusted. *)
+  let plan =
+    List.map
+      (fun x ->
+        let k = key x in
+        match Hashtbl.find_opt resumed k with
+        | Some (Ok enc) ->
+          (match codec.decode enc with
+           | Ok b -> `Done (k, Ok b)
+           | Error _ -> `Todo (k, x))
+        | Some (Error e) -> `Done (k, Error e)
+        | None -> `Todo (k, x))
+      items
+  in
+  let todo =
+    List.filter_map (function `Todo kx -> Some kx | `Done _ -> None) plan
+  in
+  let computed : (string, ('b, string) result) Hashtbl.t = Hashtbl.create 64 in
+  let journaled = ref 0 in
+  let rec chunks = function
+    | [] -> ()
+    | rest ->
+      let rec take n acc = function
+        | x :: tl when n > 0 -> take (n - 1) (x :: acc) tl
+        | tl -> (List.rev acc, tl)
+      in
+      let batch, rest = take chunk_size [] rest in
+      let raw = Pool.map ~jobs ?timeout_s (fun (_k, x) -> f x) batch in
+      let raw =
+        retry_failures ~jobs ?timeout_s ~retries ~backoff_s
+          (fun (_k, x) -> f x)
+          batch raw
+      in
+      List.iter2
+        (fun (k, _x) r ->
+          let r =
+            match r with
+            | Ok b -> Ok b
+            | Error e -> Error (Pool.error_message e)
+          in
+          Hashtbl.replace computed k r;
+          Option.iter
+            (fun j ->
+              Journal.append j ~key:k
+                ~value:
+                  (match r with
+                   | Ok b -> Ok (codec.encode b)
+                   | Error e -> Error e))
+            journal;
+          incr journaled;
+          Option.iter (fun cb -> cb !journaled) on_checkpoint)
+        batch raw;
+      chunks rest
+  in
+  chunks todo;
+  List.map
+    (function
+      | `Done (_k, r) -> r
+      | `Todo (k, _x) -> Hashtbl.find computed k)
+    plan

@@ -3,6 +3,7 @@ type stats = {
   disk_hits : int;
   misses : int;
   stores : int;
+  quarantined : int;
 }
 
 type t = {
@@ -12,6 +13,7 @@ type t = {
   mutable disk_hits : int;
   mutable misses : int;
   mutable stores : int;
+  mutable quarantined : int;
 }
 
 let rec mkdir_p path =
@@ -31,20 +33,32 @@ let create ?dir () =
           (Printf.sprintf "Engine.Cache.create: %s is not a directory" d))
     dir;
   { table = Hashtbl.create 64; dir; mem_hits = 0; disk_hits = 0;
-    misses = 0; stores = 0 }
+    misses = 0; stores = 0; quarantined = 0 }
 
 let entry_path dir key = Filename.concat dir (key ^ ".summary")
 
-let disk_find dir key =
+let quarantine_path dir key = Filename.concat dir (key ^ ".corrupt")
+
+(* A corrupt entry left in place would be re-read (and missed) on every
+   lookup forever; renaming it aside keeps the evidence for post-mortems
+   while letting the next store repopulate the key. *)
+let quarantine t dir key =
+  (try Sys.rename (entry_path dir key) (quarantine_path dir key)
+   with Sys_error _ -> ());
+  t.quarantined <- t.quarantined + 1
+
+let disk_find t dir key =
   let path = entry_path dir key in
   if not (Sys.file_exists path) then None
   else
     match In_channel.with_open_text path In_channel.input_all with
-    | exception Sys_error _ -> None
+    | exception Sys_error _ -> None (* unreadable, not corrupt: plain miss *)
     | text ->
       (match Summary.of_string text with
        | Ok s -> Some s
-       | Error _ -> None (* corrupt/foreign entry: treat as a miss *))
+       | Error _ ->
+         quarantine t dir key;
+         None)
 
 let disk_store dir key summary =
   (* Atomic publish: unique temp file in the same directory, then rename. *)
@@ -65,7 +79,7 @@ let find t key =
     t.mem_hits <- t.mem_hits + 1;
     Some (s, `Memory)
   | None ->
-    (match Option.bind t.dir (fun dir -> disk_find dir key) with
+    (match Option.bind t.dir (fun dir -> disk_find t dir key) with
      | Some s ->
        Hashtbl.replace t.table key s;
        t.disk_hits <- t.disk_hits + 1;
@@ -81,4 +95,4 @@ let store t key summary =
 
 let stats t =
   { mem_hits = t.mem_hits; disk_hits = t.disk_hits; misses = t.misses;
-    stores = t.stores }
+    stores = t.stores; quarantined = t.quarantined }

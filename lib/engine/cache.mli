@@ -6,7 +6,11 @@
     temp file in the same directory which is then [rename]d into place, so
     concurrent processes sharing a cache directory see either nothing or a
     complete entry. Disk failures (unwritable directory, corrupt entry) are
-    soft: the cache degrades to memory-only rather than failing the run. *)
+    soft: the cache degrades to memory-only rather than failing the run.
+
+    A corrupt entry is {e quarantined}: renamed to [<key>.corrupt] so it is
+    not silently re-read (and missed) on every future lookup, and counted in
+    {!stats}. The next store for that key repopulates it normally. *)
 
 type t
 
@@ -21,6 +25,7 @@ type stats = {
   disk_hits : int;  (** found on disk (also counted once into memory) *)
   misses : int;
   stores : int;
+  quarantined : int;  (** corrupt disk entries renamed to [<key>.corrupt] *)
 }
 
 val find : t -> string -> (Summary.t * [ `Memory | `Disk ]) option

@@ -2,6 +2,8 @@ module Fingerprint = Fingerprint
 module Summary = Summary
 module Pool = Pool
 module Cache = Cache
+module Journal = Journal
+module Batch = Batch
 
 type job = {
   jname : string;
@@ -18,8 +20,10 @@ type stats = {
   submitted : int;
   executed : int;
   failed : int;
+  retried : int;
   mem_hits : int;
   disk_hits : int;
+  quarantined : int;
   wall_s : float;
   cpu_s : float;
 }
@@ -28,22 +32,28 @@ type t = {
   lib : Cells.Library.t;
   jobs : int;
   timeout_s : float option;
+  retries : int;
+  backoff_s : float;
   cache : Cache.t option;
   mutable submitted : int;
   mutable executed : int;
   mutable failed : int;
+  mutable retried : int;
   mutable mem_hits : int;
   mutable disk_hits : int;
   mutable wall_s : float;
   mutable cpu_s : float;
 }
 
-let create ?(jobs = 1) ?cache_dir ?(no_cache = false) ?timeout_s lib =
+let create ?(jobs = 1) ?cache_dir ?(no_cache = false) ?timeout_s
+    ?(retries = 0) ?(backoff_s = 0.05) lib =
   let jobs = if jobs = 0 then Domain.recommended_domain_count () else jobs in
   if jobs < 1 then invalid_arg "Engine.create: jobs must be >= 0";
+  if retries < 0 then invalid_arg "Engine.create: retries must be >= 0";
   let cache = if no_cache then None else Some (Cache.create ?dir:cache_dir ()) in
-  { lib; jobs; timeout_s; cache; submitted = 0; executed = 0; failed = 0;
-    mem_hits = 0; disk_hits = 0; wall_s = 0.0; cpu_s = 0.0 }
+  { lib; jobs; timeout_s; retries; backoff_s; cache; submitted = 0;
+    executed = 0; failed = 0; retried = 0; mem_hits = 0; disk_hits = 0;
+    wall_s = 0.0; cpu_s = 0.0 }
 
 let library t = t.lib
 
@@ -97,6 +107,29 @@ let run t jobs =
       (Array.to_list distinct)
     |> Array.of_list
   in
+  (* Transient-failure absorption: re-run failed jobs up to [retries] times
+     with exponential backoff. Compiles are deterministic, so this only
+     helps against environmental failures (resource exhaustion, timeouts on
+     a loaded machine) — which is exactly the point. *)
+  let attempt = ref 0 in
+  let has_failures () =
+    Array.exists (function Error _ -> true | Ok _ -> false) results
+  in
+  while !attempt < t.retries && has_failures () do
+    Unix.sleepf (t.backoff_s *. (2.0 ** float_of_int !attempt));
+    let failed_idx = ref [] in
+    Array.iteri
+      (fun i -> function Error _ -> failed_idx := i :: !failed_idx | Ok _ -> ())
+      results;
+    let failed_idx = List.rev !failed_idx in
+    t.retried <- t.retried + List.length failed_idx;
+    let rerun =
+      Pool.map ~jobs:t.jobs ?timeout_s:t.timeout_s compile
+        (List.map (fun i -> distinct.(i)) failed_idx)
+    in
+    List.iter2 (fun i r -> results.(i) <- r) failed_idx rerun;
+    incr attempt
+  done;
   t.executed <- t.executed + Array.length results;
   Array.iteri
     (fun i result ->
@@ -123,14 +156,20 @@ let report_exn t j =
          (Pool.error_message e))
 
 let stats t =
+  let quarantined =
+    match t.cache with
+    | Some c -> (Cache.stats c).Cache.quarantined
+    | None -> 0
+  in
   { submitted = t.submitted; executed = t.executed; failed = t.failed;
-    mem_hits = t.mem_hits; disk_hits = t.disk_hits; wall_s = t.wall_s;
-    cpu_s = t.cpu_s }
+    retried = t.retried; mem_hits = t.mem_hits; disk_hits = t.disk_hits;
+    quarantined; wall_s = t.wall_s; cpu_s = t.cpu_s }
 
 let reset_stats t =
   t.submitted <- 0;
   t.executed <- 0;
   t.failed <- 0;
+  t.retried <- 0;
   t.mem_hits <- 0;
   t.disk_hits <- 0;
   t.wall_s <- 0.0;
@@ -145,8 +184,10 @@ let stats_table (s : stats) =
       [ "jobs submitted"; string_of_int s.submitted ];
       [ "cache hits (memory)"; string_of_int s.mem_hits ];
       [ "cache hits (disk)"; string_of_int s.disk_hits ];
+      [ "cache entries quarantined"; string_of_int s.quarantined ];
       [ "jobs executed"; string_of_int s.executed ];
       [ "jobs failed"; string_of_int s.failed ];
+      [ "jobs retried"; string_of_int s.retried ];
       [ "wall time (s)"; f s.wall_s ];
       [ "cpu time (s)"; f s.cpu_s ];
       [ "parallel speedup";

@@ -22,6 +22,8 @@ module Fingerprint = Fingerprint
 module Summary = Summary
 module Pool = Pool
 module Cache = Cache
+module Journal = Journal
+module Batch = Batch
 
 type job = {
   jname : string;  (** label for error messages and reports *)
@@ -37,9 +39,11 @@ type outcome = (Summary.t, Pool.error) result
 type stats = {
   submitted : int;  (** jobs requested through [run]/[run_one] *)
   executed : int;   (** jobs that actually compiled *)
-  failed : int;     (** executed jobs that settled in [Error] *)
+  failed : int;     (** executed jobs that settled in [Error] after retries *)
+  retried : int;    (** re-executions triggered by the retry policy *)
   mem_hits : int;   (** served from memory, incl. batch coalescing *)
   disk_hits : int;  (** served from the on-disk cache *)
+  quarantined : int; (** corrupt disk entries renamed aside ({!Cache}) *)
   wall_s : float;   (** wall-clock spent inside [run] *)
   cpu_s : float;    (** summed per-job compile time across workers *)
 }
@@ -51,12 +55,17 @@ val create :
   ?cache_dir:string ->
   ?no_cache:bool ->
   ?timeout_s:float ->
+  ?retries:int ->
+  ?backoff_s:float ->
   Cells.Library.t ->
   t
 (** [jobs]: worker domains for cache-miss execution; [1] (default) compiles
     on the calling domain, [0] means [Domain.recommended_domain_count ()].
     [no_cache] disables result caching entirely ([cache_dir] is then
-    ignored). [timeout_s] bounds each job from submission. *)
+    ignored). [timeout_s] bounds each job from submission. [retries]
+    (default 0) re-runs failed jobs that many extra times, sleeping
+    [backoff_s * 2^wave] (default 0.05 s) before each wave — transient
+    failures heal, deterministic ones still settle as [Error]. *)
 
 val library : t -> Cells.Library.t
 

@@ -7,7 +7,16 @@
     passed before a worker picks it up never runs; a job already running is
     not interrupted, but its result is discarded and reported as
     [Error (Timeout _)]. [cancel] likewise drops queued jobs and marks
-    running ones so their result is discarded on completion. *)
+    running ones so their result is discarded on completion.
+
+    Consequence of cooperative enforcement: a timed-out (or cancelled)
+    thunk that is already running {e keeps running on its worker domain
+    until it completes} — OCaml domains cannot be killed safely. Its
+    promise settles as [Error (Timeout _)] only when the thunk returns
+    (so [await] on it blocks that long), and the worker is occupied until
+    then; a pool whose every worker is stuck in a long thunk makes no
+    progress on queued jobs in the meantime, though it recovers as soon as
+    the thunks finish. Size [timeout_s] and job granularity accordingly. *)
 
 type error =
   | Exn of { exn : string; backtrace : string }

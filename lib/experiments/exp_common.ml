@@ -31,6 +31,38 @@ let reports jobs =
 
 let areas jobs = List.map Synth.Map.total (reports jobs)
 
+let failure_log : string list ref = ref []
+
+let record_failure msg = failure_log := msg :: !failure_log
+
+let failures () = List.rev !failure_log
+
+let areas_result jobs =
+  let e = engine () in
+  List.map2
+    (fun (j : Engine.job) outcome ->
+      match outcome with
+      | Ok (s : Engine.Summary.t) -> Ok (Synth.Map.total s.Engine.Summary.report)
+      | Error err ->
+        let msg =
+          Printf.sprintf "synthesis job %s failed: %s" j.Engine.jname
+            (Engine.Pool.error_message err)
+        in
+        record_failure msg;
+        Error msg)
+    jobs (Engine.run e jobs)
+
+let fmt_area_result = function
+  | Ok a -> Report.Table.fmt_area a
+  | Error _ -> "FAIL"
+
+let fmt_ratio_result a b =
+  match (a, b) with
+  | Ok a, Ok b -> Report.Table.fmt_ratio (a /. b)
+  | _ -> "-"
+
+let ratio_opt a b = match (a, b) with Ok a, Ok b -> Some (a /. b) | _ -> None
+
 let geomean = function
   | [] -> 1.0
   | xs ->

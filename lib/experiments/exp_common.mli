@@ -25,6 +25,28 @@ val reports : Engine.job list -> Synth.Map.report list
 
 val areas : Engine.job list -> float list
 
+val areas_result : Engine.job list -> (float, string) result list
+(** Graceful variant of {!areas}: a failed compile yields [Error message]
+    for its slot instead of aborting the whole sweep, and the message is
+    also appended to the process-wide {!failures} list so front-ends can
+    print a summary and exit nonzero. *)
+
+val record_failure : string -> unit
+
+val failures : unit -> string list
+(** Every failure recorded by {!areas_result} (or {!record_failure}) so
+    far, in occurrence order. *)
+
+val fmt_area_result : (float, string) result -> string
+(** As {!Report.Table.fmt_area}, with ["FAIL"] for errors. *)
+
+val fmt_ratio_result :
+  (float, string) result -> (float, string) result -> string
+(** [a / b] formatted, or ["-"] when either side failed. *)
+
+val ratio_opt :
+  (float, string) result -> (float, string) result -> float option
+
 val geomean : float list -> float
 (** Geometric mean; 1.0 on the empty list. *)
 

@@ -1,0 +1,48 @@
+(** Fault vulnerability of the flexible PCtrl vs its partially evaluated
+    fixed build — the robustness counterpart of the Fig. 9 area story.
+
+    The flexible controller keeps its sequencer microcode, dispatch table
+    and pipe FSM tables in configuration memories, every bit of which is a
+    live upset target for the whole run. Partial evaluation binds those
+    tables and synthesis folds them into fixed logic, so the bound build's
+    table-SEU population is zero by construction — flexibility is paid for
+    in soft-error cross-section, not just area.
+
+    Both implementations run the same Copy_line transaction (the
+    [test_pctrl] stimulus) and are scored by {!Fault.Campaign} under the
+    control, table-SEU and register-upset models. *)
+
+type impl = Flexible | Bound
+
+val impl_name : impl -> string
+
+type row = {
+  impl : impl;
+  model : Fault.Campaign.model;
+  report : Fault.Campaign.report;
+}
+
+val spec_of :
+  ?cycles:int -> ?mode:Pctrl.Controller.mode -> impl -> Fault.Sim.spec
+(** The fault-simulation spec for one implementation: design, bound
+    config (for [mode], default [Cached]), Copy_line stimulus, watched
+    outputs, [resp] as done signal. *)
+
+val run :
+  ?seed:int ->
+  ?sites:int ->
+  ?cycles:int ->
+  ?jobs:int ->
+  ?timeout_s:float ->
+  unit ->
+  row list
+(** Campaigns for both implementations under each model, deterministic in
+    [seed]. [sites] caps each campaign's sample (defaults 48); register
+    models sample injection cycles within [cycles] (default 40). *)
+
+val vulnerability : Fault.Campaign.report -> float option
+(** (mismatches + hangs) / injected; [None] for an empty campaign. *)
+
+val print : row list -> unit
+
+val to_json : row list -> Report.Json.t

@@ -2,8 +2,8 @@ type row = {
   depth : int;
   width : int;
   seed : int;
-  table_area : float;
-  sop_area : float;
+  table_area : (float, string) result;
+  sop_area : (float, string) result;
 }
 
 let quick_grid =
@@ -35,7 +35,7 @@ let run ?(seeds = [ 0; 1; 2 ]) ?(grid = Workload.Rand_table.paper_grid) () =
       { depth; width; seed; table_area; sop_area } :: pair ps rest
     | _ -> assert false
   in
-  pair points (Exp_common.areas jobs)
+  pair points (Exp_common.areas_result jobs)
 
 let print rows =
   let body =
@@ -45,9 +45,9 @@ let print rows =
           string_of_int r.depth;
           string_of_int r.width;
           string_of_int r.seed;
-          Report.Table.fmt_area r.table_area;
-          Report.Table.fmt_area r.sop_area;
-          Report.Table.fmt_ratio (r.table_area /. r.sop_area);
+          Exp_common.fmt_area_result r.table_area;
+          Exp_common.fmt_area_result r.sop_area;
+          Exp_common.fmt_ratio_result r.table_area r.sop_area;
         ])
       rows
   in
@@ -59,14 +59,20 @@ let print rows =
   let ratios =
     List.filter_map
       (fun r ->
-        if r.sop_area > 0.5 then Some (r.table_area /. r.sop_area) else None)
+        match (r.table_area, r.sop_area) with
+        | Ok t, Ok s when s > 0.5 -> Some (t /. s)
+        | _ -> None)
       rows
   in
   let table_wins = List.length (List.filter (fun x -> x < 1.0) ratios) in
-  Exp_common.printf
-    "points: %d  geomean(table/sop): %.3f  min %.2f  max %.2f  table-better: %d@.@."
-    (List.length rows)
-    (Exp_common.geomean ratios)
-    (List.fold_left min infinity ratios)
-    (List.fold_left max 0.0 ratios)
-    table_wins
+  if ratios = [] then
+    Exp_common.printf "points: %d  (no classifiable points)@.@."
+      (List.length rows)
+  else
+    Exp_common.printf
+      "points: %d  geomean(table/sop): %.3f  min %.2f  max %.2f  table-better: %d@.@."
+      (List.length rows)
+      (Exp_common.geomean ratios)
+      (List.fold_left min infinity ratios)
+      (List.fold_left max 0.0 ratios)
+      table_wins

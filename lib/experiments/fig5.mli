@@ -11,8 +11,10 @@ type row = {
   depth : int;
   width : int;
   seed : int;
-  table_area : float;
-  sop_area : float;
+  table_area : (float, string) result;
+  sop_area : (float, string) result;
+      (** [Error message] when that point's compile failed; the sweep keeps
+          going and the failure is recorded in {!Exp_common.failures}. *)
 }
 
 val run : ?seeds:int list -> ?grid:(int * int) list -> unit -> row list

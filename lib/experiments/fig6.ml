@@ -3,9 +3,9 @@ type row = {
   n : int;
   s : int;
   seed : int;
-  direct_area : float;
-  regular_area : float;
-  annotated_area : float;
+  direct_area : (float, string) result;
+  regular_area : (float, string) result;
+  annotated_area : (float, string) result;
 }
 
 let quick_grid = [ (2, 2, 2); (2, 8, 3); (2, 16, 17); (8, 8, 8); (8, 2, 17) ]
@@ -39,7 +39,7 @@ let run ?(seeds = [ 0; 1; 2 ]) ?(grid = Workload.Rand_fsm.paper_grid) () =
       :: pair ps rest
     | _ -> assert false
   in
-  pair points (Exp_common.areas jobs)
+  pair points (Exp_common.areas_result jobs)
 
 let print rows =
   let body =
@@ -50,11 +50,11 @@ let print rows =
           string_of_int r.n;
           string_of_int r.s;
           string_of_int r.seed;
-          Report.Table.fmt_area r.direct_area;
-          Report.Table.fmt_area r.regular_area;
-          Report.Table.fmt_area r.annotated_area;
-          Report.Table.fmt_ratio (r.regular_area /. r.direct_area);
-          Report.Table.fmt_ratio (r.annotated_area /. r.direct_area);
+          Exp_common.fmt_area_result r.direct_area;
+          Exp_common.fmt_area_result r.regular_area;
+          Exp_common.fmt_area_result r.annotated_area;
+          Exp_common.fmt_ratio_result r.regular_area r.direct_area;
+          Exp_common.fmt_ratio_result r.annotated_area r.direct_area;
         ])
       rows
   in
@@ -66,16 +66,19 @@ let print rows =
            "reg/dir"; "ann/dir" ]
        body);
   (* Degenerate controllers (everything folds to constants) have no
-     meaningful ratio. *)
-  let rows = List.filter (fun r -> r.direct_area > 0.5) rows in
-  let ratios f = List.map f rows in
+     meaningful ratio; neither do rows with a failed compile. *)
+  let rows =
+    List.filter (fun r -> match r.direct_area with Ok a -> a > 0.5 | Error _ -> false) rows
+  in
+  let ratios f = List.filter_map f rows in
   let odd = List.filter (fun r -> r.s = 3 || r.s = 17) rows in
   let even = List.filter (fun r -> not (r.s = 3 || r.s = 17)) rows in
-  let gm sel l = Exp_common.geomean (List.map sel l) in
+  let gm sel l = Exp_common.geomean (List.filter_map sel l) in
+  let reg_dir r = Exp_common.ratio_opt r.regular_area r.direct_area in
+  let ann_dir r = Exp_common.ratio_opt r.annotated_area r.direct_area in
   Exp_common.printf
     "geomean regular/direct: %.3f (s in {3,17}: %.3f; others: %.3f)@."
-    (Exp_common.geomean (ratios (fun r -> r.regular_area /. r.direct_area)))
-    (gm (fun r -> r.regular_area /. r.direct_area) odd)
-    (gm (fun r -> r.regular_area /. r.direct_area) even);
+    (Exp_common.geomean (ratios reg_dir))
+    (gm reg_dir odd) (gm reg_dir even);
   Exp_common.printf "geomean annotated/direct: %.3f@.@."
-    (Exp_common.geomean (ratios (fun r -> r.annotated_area /. r.direct_area)))
+    (Exp_common.geomean (ratios ann_dir))

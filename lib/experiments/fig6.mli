@@ -17,9 +17,11 @@ type row = {
   n : int;
   s : int;
   seed : int;
-  direct_area : float;
-  regular_area : float;
-  annotated_area : float;
+  direct_area : (float, string) result;
+  regular_area : (float, string) result;
+  annotated_area : (float, string) result;
+      (** [Error message] when that compile failed; the sweep keeps going
+          and the failure is recorded in {!Exp_common.failures}. *)
 }
 
 val run : ?seeds:int list -> ?grid:(int * int * int) list -> unit -> row list

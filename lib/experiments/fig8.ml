@@ -4,8 +4,8 @@ type row = {
   n : int;
   style_name : string;
   variant : variant;
-  generic_area : float;
-  direct_area : float;
+  generic_area : (float, string) result;
+  direct_area : (float, string) result;
 }
 
 let variant_name = function
@@ -47,7 +47,7 @@ let run ?(widths = Onehot_design.paper_widths)
       { n; style_name; variant; generic_area; direct_area } :: pair ps rest
     | _ -> assert false
   in
-  pair points (Exp_common.areas jobs)
+  pair points (Exp_common.areas_result jobs)
 
 let print rows =
   let body =
@@ -57,9 +57,9 @@ let print rows =
           string_of_int r.n;
           r.style_name;
           variant_name r.variant;
-          Report.Table.fmt_area r.generic_area;
-          Report.Table.fmt_area r.direct_area;
-          Report.Table.fmt_ratio (r.generic_area /. r.direct_area);
+          Exp_common.fmt_area_result r.generic_area;
+          Exp_common.fmt_area_result r.direct_area;
+          Exp_common.fmt_ratio_result r.generic_area r.direct_area;
         ])
       rows
   in
@@ -71,9 +71,20 @@ let print rows =
            Report.Table.Right; Report.Table.Right; Report.Table.Right ]
        ~header:[ "n"; "flop"; "variant"; "generic"; "direct"; "ratio" ]
        body);
-  let ideal r = r.generic_area <= r.direct_area *. 1.02 +. 1.0 in
+  let classifiable r =
+    match (r.generic_area, r.direct_area) with
+    | Ok _, Ok _ -> true
+    | _ -> false
+  in
+  let ideal r =
+    match (r.generic_area, r.direct_area) with
+    | Ok g, Ok d -> g <= (d *. 1.02) +. 1.0
+    | _ -> false
+  in
   let classify pred label =
-    let sub = List.filter pred rows in
+    (* Failed compiles can't be classified either way; they drop out of the
+       counts and surface through Exp_common.failures instead. *)
+    let sub = List.filter (fun r -> pred r && classifiable r) rows in
     let good = List.length (List.filter ideal sub) in
     Exp_common.printf "%-32s %d/%d ideal@." label good (List.length sub)
   in

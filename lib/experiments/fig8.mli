@@ -17,8 +17,10 @@ type row = {
   n : int;
   style_name : string;
   variant : variant;
-  generic_area : float;
-  direct_area : float;
+  generic_area : (float, string) result;
+  direct_area : (float, string) result;
+      (** [Error message] when that compile failed; the sweep keeps going
+          and the failure is recorded in {!Exp_common.failures}. *)
 }
 
 val run : ?widths:int list -> ?styles:(string * Onehot_design.flop_style) list -> unit -> row list

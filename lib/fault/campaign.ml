@@ -1,0 +1,187 @@
+type model = Control | Tables | Regs | Stuck | All
+
+let model_name = function
+  | Control -> "control"
+  | Tables -> "tables"
+  | Regs -> "regs"
+  | Stuck -> "stuck"
+  | All -> "all"
+
+let model_of_string = function
+  | "control" -> Ok Control
+  | "tables" -> Ok Tables
+  | "regs" -> Ok Regs
+  | "stuck" -> Ok Stuck
+  | "all" -> Ok All
+  | s -> Error (Printf.sprintf "unknown fault model %S" s)
+
+type row = { site : Site.t; result : (Sim.outcome, string) result }
+
+type report = {
+  model : model;
+  seed : int;
+  population : int;
+  injected : int;
+  masked : int;
+  mismatches : int;
+  hangs : int;
+  failed : int;
+  rows : row list;
+}
+
+let outcome_codec =
+  {
+    Engine.Batch.encode = Sim.outcome_to_string;
+    decode = Sim.outcome_of_string;
+  }
+
+(* Enumerate the full site population for [model], then (for [sites > 0])
+   sample it down. Everything downstream of [seed] is deterministic: the
+   register injection cycles and the sample draw use independent
+   [Rng.split] streams consumed in a fixed order. *)
+let enumerate ?aig ~seed ~sites ~model (spec : Sim.spec) =
+  let rng = Workload.Rng.make seed in
+  let cycles = List.length spec.stimulus in
+  let cat = function
+    | Control -> [ Site.No_fault ]
+    | Tables -> Site.table_sites spec.design ~config:spec.config
+    | Regs ->
+      Site.reg_sites spec.design ~cycles ~rng:(Workload.Rng.split rng "regs")
+    | Stuck ->
+      (match aig with
+       | None -> []
+       | Some (a : Sim.aig_spec) -> Site.stuck_sites a.aig)
+    | All -> assert false
+  in
+  let population =
+    match model with
+    | All -> cat Control @ cat Tables @ cat Regs @ cat Stuck
+    | m -> cat m
+  in
+  let srng = Workload.Rng.split rng "sample" in
+  let sampled =
+    if sites <= 0 then population
+    else
+      match model with
+      | All ->
+        (* The control site always survives sampling: it anchors the
+           campaign's self-test (a healthy simulator masks it). *)
+        let rest = List.filter (fun s -> s <> Site.No_fault) population in
+        let rest =
+          if sites - 1 <= 0 then []
+          else Site.sample srng ~count:(sites - 1) rest
+        in
+        Site.No_fault :: rest
+      | _ -> Site.sample srng ~count:sites population
+  in
+  (population, sampled)
+
+let run ?(jobs = 1) ?timeout_s ?(retries = 0) ?(backoff_s = 0.05) ?journal
+    ?(resume = []) ?on_checkpoint ?aig ~seed ~sites ~model (spec : Sim.spec) =
+  let population, injected = enumerate ?aig ~seed ~sites ~model spec in
+  let needs_rtl =
+    List.exists (function Site.Stuck_at _ -> false | _ -> true) injected
+  in
+  let needs_aig =
+    List.exists (function Site.Stuck_at _ -> true | _ -> false) injected
+  in
+  (* Goldens are computed once, before the pool forks, and shared read-only
+     with every worker. *)
+  let g = if needs_rtl then Some (Sim.golden spec) else None in
+  let ag =
+    match (needs_aig, aig) with
+    | true, Some a -> Some (Sim.aig_golden a)
+    | _ -> None
+  in
+  let run_one site =
+    match site with
+    | Site.Stuck_at _ ->
+      (match (aig, ag) with
+       | Some a, Some golden -> Sim.aig_run_site a golden site
+       | _ -> invalid_arg "Fault.Campaign.run: stuck-at sites need ~aig")
+    | _ -> Sim.run_site spec (Option.get g) site
+  in
+  let results =
+    Engine.Batch.run ~jobs ?timeout_s ~retries ~backoff_s ?journal ~resume
+      ?on_checkpoint ~key:Site.key ~codec:outcome_codec run_one injected
+  in
+  let rows = List.map2 (fun site result -> { site; result }) injected results in
+  let count p = List.length (List.filter p rows) in
+  {
+    model;
+    seed;
+    population = List.length population;
+    injected = List.length injected;
+    masked = count (fun r -> r.result = Ok Sim.Masked);
+    mismatches =
+      count (fun r ->
+          match r.result with Ok (Sim.Mismatch _) -> true | _ -> false);
+    hangs =
+      count (fun r -> match r.result with Ok (Sim.Hang _) -> true | _ -> false);
+    failed =
+      count (fun r -> match r.result with Error _ -> true | _ -> false);
+    rows;
+  }
+
+let first_mismatch report =
+  List.find_map
+    (fun r ->
+      match r.result with Ok (Sim.Mismatch _) -> Some r.site | _ -> None)
+    report.rows
+
+let to_table report =
+  let rows =
+    List.map
+      (fun r ->
+        match r.result with
+        | Ok o -> [ Site.key r.site; Sim.outcome_class o; Sim.outcome_detail o ]
+        | Error e -> [ Site.key r.site; "FAILED"; e ])
+      report.rows
+  in
+  Report.Table.render
+    ~align:[ Report.Table.Left; Report.Table.Left; Report.Table.Left ]
+    ~header:[ "site"; "outcome"; "detail" ]
+    rows
+
+let summary_line report =
+  Printf.sprintf
+    "summary: sites %d/%d  masked %d  mismatch %d  hang %d  failed %d"
+    report.injected report.population report.masked report.mismatches
+    report.hangs report.failed
+
+let print oc report =
+  Printf.fprintf oc "fault campaign: model=%s seed=%d\n" (model_name report.model)
+    report.seed;
+  output_string oc (to_table report);
+  output_string oc (summary_line report);
+  output_char oc '\n'
+
+let to_json report =
+  let open Report.Json in
+  Obj
+    [
+      ("model", String (model_name report.model));
+      ("seed", Int report.seed);
+      ("population", Int report.population);
+      ("injected", Int report.injected);
+      ("masked", Int report.masked);
+      ("mismatch", Int report.mismatches);
+      ("hang", Int report.hangs);
+      ("failed", Int report.failed);
+      ( "rows",
+        List
+          (List.map
+             (fun r ->
+               Obj
+                 (("site", String (Site.key r.site))
+                  ::
+                  (match r.result with
+                   | Ok o ->
+                     [
+                       ("outcome", String (Sim.outcome_class o));
+                       ("detail", String (Sim.outcome_detail o));
+                     ]
+                   | Error e ->
+                     [ ("outcome", String "failed"); ("detail", String e) ])))
+             report.rows) );
+    ]

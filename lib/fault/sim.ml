@@ -1,0 +1,271 @@
+type outcome =
+  | Masked
+  | Mismatch of { cycle : int; signal : string }
+  | Hang of string
+
+let outcome_class = function
+  | Masked -> "masked"
+  | Mismatch _ -> "mismatch"
+  | Hang _ -> "hang"
+
+let outcome_detail = function
+  | Masked -> ""
+  | Mismatch { cycle; signal } -> Printf.sprintf "cycle %d, %s" cycle signal
+  | Hang reason -> reason
+
+let outcome_to_string = function
+  | Masked -> "masked"
+  | Mismatch { cycle; signal } -> Printf.sprintf "mismatch %d %s" cycle signal
+  | Hang reason -> "hang " ^ reason
+
+let outcome_of_string s =
+  if s = "masked" then Ok Masked
+  else if String.length s > 5 && String.sub s 0 5 = "hang " then
+    Ok (Hang (String.sub s 5 (String.length s - 5)))
+  else
+    match String.split_on_char ' ' s with
+    | "mismatch" :: cycle :: signal ->
+      (match int_of_string_opt cycle with
+       | Some cycle when signal <> [] ->
+         Ok (Mismatch { cycle; signal = String.concat " " signal })
+       | _ -> Error ("bad mismatch outcome: " ^ s))
+    | _ -> Error ("unknown outcome: " ^ s)
+
+(* ------------------------------------------------------- RTL fault sim *)
+
+type spec = {
+  design : Rtl.Design.t;
+  config : (string * Bitvec.t array) list;
+  stimulus : (string * Bitvec.t) list list;
+  watch : string list;
+  done_signal : string option;
+  hang_factor : int;
+}
+
+let spec ?(config = []) ?done_signal ?(hang_factor = 2) ~stimulus ~watch
+    design =
+  (* The hang detector compares [done_signal] cycle by cycle too: a fault
+     that merely delays completion shows up as a mismatch, not a hang. *)
+  let watch =
+    match done_signal with
+    | Some s when not (List.mem s watch) -> watch @ [ s ]
+    | _ -> watch
+  in
+  { design; config; stimulus; watch; done_signal; hang_factor }
+
+type golden = { samples : Bitvec.t list list; done_seen : bool }
+
+let flip v bit = Bitvec.set v bit (not (Bitvec.get v bit))
+
+(* Produce the (design, config) pair with a persistent storage fault baked
+   in. Register upsets are transient and injected during the run instead.
+   Fresh arrays are allocated before flipping: the spec's bindings are
+   shared across concurrent campaign jobs and must never be mutated. *)
+let materialize spec site =
+  match site with
+  | Site.Table_bit { table; entry; bit } ->
+    (match (Rtl.Design.find_table spec.design table).Rtl.Design.storage with
+     | Rtl.Design.Config ->
+       let config =
+         List.map
+           (fun (n, contents) ->
+             if n = table then begin
+               let c = Array.copy contents in
+               c.(entry) <- flip c.(entry) bit;
+               (n, c)
+             end
+             else (n, contents))
+           spec.config
+       in
+       (spec.design, config)
+     | Rtl.Design.Rom contents ->
+       let c = Array.copy contents in
+       c.(entry) <- flip c.(entry) bit;
+       (Rtl.Design.with_rom_contents spec.design table c, spec.config))
+  | Site.No_fault | Site.Reg_bit _ -> (spec.design, spec.config)
+  | Site.Stuck_at _ ->
+    invalid_arg "Fault.Sim: stuck-at faults simulate on the netlist (aig_*)"
+
+let run_traced spec site ~extend =
+  let design, config = materialize spec site in
+  let st = Rtl.Eval.create ~config design in
+  Rtl.Eval.reset st;
+  let done_seen = ref false in
+  let check_done () =
+    Option.iter
+      (fun s ->
+        if Bitvec.reduce_or (Rtl.Eval.peek st s) then done_seen := true)
+      spec.done_signal
+  in
+  let inject cycle =
+    match site with
+    | Site.Reg_bit { reg; bit; cycle = c } when c = cycle ->
+      Rtl.Eval.poke_reg st reg (flip (Rtl.Eval.peek_reg st reg) bit)
+    | _ -> ()
+  in
+  let samples =
+    List.mapi
+      (fun cycle alist ->
+        inject cycle;
+        List.iter (fun (n, v) -> Rtl.Eval.set_input st n v) alist;
+        let row = List.map (Rtl.Eval.peek st) spec.watch in
+        check_done ();
+        Rtl.Eval.step st;
+        row)
+      spec.stimulus
+  in
+  (* Hang budget: keep clocking with inputs held at their final values, up
+     to [hang_factor] times the stimulus length, watching for [done]. *)
+  let base = List.length spec.stimulus in
+  if extend && Option.is_some spec.done_signal && not !done_seen then begin
+    let budget = max 0 ((spec.hang_factor - 1) * base) in
+    (try
+       for cycle = base to base + budget - 1 do
+         inject cycle;
+         check_done ();
+         if not !done_seen then Rtl.Eval.step st
+       done
+     with _ -> ())
+  end;
+  (samples, !done_seen)
+
+let golden spec =
+  let samples, done_seen = run_traced spec Site.No_fault ~extend:false in
+  { samples; done_seen }
+
+let compare_samples spec ~golden ~faulty =
+  let rec rows cycle gs fs =
+    match (gs, fs) with
+    | [], [] -> Masked
+    | grow :: gs, frow :: fs ->
+      let rec cells ws gvs fvs =
+        match (ws, gvs, fvs) with
+        | [], [], [] -> None
+        | w :: ws, gv :: gvs, fv :: fvs ->
+          if Bitvec.equal gv fv then cells ws gvs fvs else Some w
+        | _ -> assert false
+      in
+      (match cells spec.watch grow frow with
+       | Some signal -> Mismatch { cycle; signal }
+       | None -> rows (cycle + 1) gs fs)
+    | _ -> assert false
+  in
+  rows 0 golden faulty
+
+let run_site spec (g : golden) site =
+  match run_traced spec site ~extend:true with
+  | exception e -> Hang ("simulation raised: " ^ Printexc.to_string e)
+  | faulty, done_seen ->
+    if Option.is_some spec.done_signal && g.done_seen && not done_seen then
+      Hang
+        (Printf.sprintf "%s never asserted within %d cycles"
+           (Option.get spec.done_signal)
+           (spec.hang_factor * List.length spec.stimulus))
+    else compare_samples spec ~golden:g.samples ~faulty
+
+let trace_site spec site = fst (run_traced spec site ~extend:false)
+
+let vcd_site spec site =
+  let signals =
+    List.map
+      (fun w ->
+        match Rtl.Vcd.signal_width spec.design w with
+        | Some width -> (w, width)
+        | None -> invalid_arg ("Fault.Sim.vcd_site: unknown signal " ^ w))
+      spec.watch
+  in
+  Rtl.Vcd.of_samples ~name:spec.design.Rtl.Design.name ~signals
+    (trace_site spec site)
+
+(* ----------------------------------------------------- netlist (AIG) sim *)
+
+type aig_spec = { aig : Aig.t; cycles : int; seed : int }
+
+type aig_golden = (string * bool) list array
+
+let aig_stimulus spec =
+  (* One row of PI values per cycle, deterministic in [seed] and generated
+     identically for golden and faulty runs. *)
+  let rng = Workload.Rng.make spec.seed in
+  let num_pis = List.length (Aig.pis spec.aig) in
+  let stim = Array.make spec.cycles [||] in
+  for c = 0 to spec.cycles - 1 do
+    stim.(c) <- Array.init num_pis (fun _ -> true) ;
+    for i = 0 to num_pis - 1 do
+      stim.(c).(i) <- Workload.Rng.bool rng
+    done
+  done;
+  stim
+
+let aig_run spec ~force =
+  let aig = spec.aig in
+  let n = Aig.num_nodes aig in
+  let stim = aig_stimulus spec in
+  let slot = Hashtbl.create 64 in
+  List.iteri (fun i node -> Hashtbl.replace slot node i) (Aig.pis aig);
+  let latches = Aig.latches aig in
+  let lslot = Hashtbl.create 64 in
+  List.iteri (fun i node -> Hashtbl.replace lslot node i) latches;
+  let state =
+    Array.of_list
+      (List.map
+         (fun l ->
+           let _, init, _, _ = Aig.latch_info aig l in
+           init)
+         latches)
+  in
+  let pos = Aig.pos aig in
+  let values = Array.make n false in
+  let lit_value l = values.(Aig.node_of_lit l) <> Aig.is_complemented l in
+  let out = Array.make spec.cycles [] in
+  for cycle = 0 to spec.cycles - 1 do
+    let piv = stim.(cycle) in
+    for node = 0 to n - 1 do
+      let v =
+        match Aig.kind aig node with
+        | Aig.Const -> false
+        | Aig.Pi -> piv.(Hashtbl.find slot node)
+        | Aig.Latch -> state.(Hashtbl.find lslot node)
+        | Aig.And ->
+          let a, b = Aig.fanins aig node in
+          lit_value a && lit_value b
+      in
+      values.(node) <-
+        (match force with
+         | Some (fn, fv) when fn = node -> fv
+         | _ -> v)
+    done;
+    out.(cycle) <- List.map (fun (name, l) -> (name, lit_value l)) pos;
+    let next = List.map (fun l -> lit_value (Aig.latch_next aig l)) latches in
+    List.iteri (fun i v -> state.(i) <- v) next
+  done;
+  out
+
+let aig_golden spec = aig_run spec ~force:None
+
+let aig_run_site spec (g : aig_golden) site =
+  let force =
+    match site with
+    | Site.Stuck_at { node; value } -> Some (node, value)
+    | Site.No_fault -> None
+    | Site.Table_bit _ | Site.Reg_bit _ ->
+      invalid_arg "Fault.Sim: RTL-state faults simulate on the RTL (run_site)"
+  in
+  match aig_run spec ~force with
+  | exception e -> Hang ("simulation raised: " ^ Printexc.to_string e)
+  | faulty ->
+    let rec rows cycle =
+      if cycle >= spec.cycles then Masked
+      else
+        let rec cells gs fs =
+          match (gs, fs) with
+          | [], [] -> None
+          | (name, gv) :: gs, (_, fv) :: fs ->
+            if gv = (fv : bool) then cells gs fs else Some name
+          | _ -> assert false
+        in
+        match cells g.(cycle) faulty.(cycle) with
+        | Some signal -> Mismatch { cycle; signal }
+        | None -> rows (cycle + 1)
+    in
+    rows 0

@@ -51,6 +51,19 @@ let set_input st name v =
       invalid_arg ("Eval.set_input: width mismatch on " ^ name);
     st.inputs <- Smap.add name v st.inputs
 
+let peek_reg st name =
+  match Smap.find_opt name st.regs with
+  | Some v -> v
+  | None -> invalid_arg ("Eval.peek_reg: unknown register " ^ name)
+
+let poke_reg st name v =
+  match List.find_opt (fun (r : Design.reg) -> r.q.Signal.name = name) st.d.regs with
+  | None -> invalid_arg ("Eval.poke_reg: unknown register " ^ name)
+  | Some r ->
+    if Bitvec.width v <> r.q.Signal.width then
+      invalid_arg ("Eval.poke_reg: width mismatch on " ^ name);
+    st.regs <- Smap.add name v st.regs
+
 let read_table st name addr =
   match Hashtbl.find_opt st.tables name with
   | None -> invalid_arg ("Eval: reading unbound configuration table " ^ name)

@@ -20,6 +20,16 @@ val design : state -> Design.t
 val set_input : state -> string -> Bitvec.t -> unit
 (** @raise Invalid_argument on unknown port or wrong width. *)
 
+val peek_reg : state -> string -> Bitvec.t
+(** Current stored value of a register, without combinational evaluation.
+    @raise Invalid_argument on unknown register. *)
+
+val poke_reg : state -> string -> Bitvec.t -> unit
+(** Overwrite a register's stored value — the fault-injection hook
+    ({!Fault} upsets register state between clock edges with it). Takes
+    effect for the current cycle's combinational evaluation.
+    @raise Invalid_argument on unknown register or wrong width. *)
+
 val peek : state -> string -> Bitvec.t
 (** Current value of any input, net, register or output, combinationally
     evaluated from current inputs and register state. *)

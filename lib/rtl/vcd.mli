@@ -5,6 +5,20 @@
     clock cycle spans 10 time units, with the implicit [clk] toggling at
     mid-cycle; watched values are sampled before each rising edge. *)
 
+val of_samples :
+  name:string ->
+  signals:(string * int) list ->
+  Bitvec.t list list ->
+  string
+(** [of_samples ~name ~signals rows] — the low-level emitter: one [(signal
+    name, width)] per column, one row of sampled values per cycle. Used
+    directly when the run cannot be replayed by {!Eval.run} (e.g. fault
+    injection poking register state mid-run).
+    @raise Invalid_argument when a row's length differs from [signals]. *)
+
+val signal_width : Design.t -> string -> int option
+(** Width of a named input, net, register or output; [None] if unknown. *)
+
 val of_run :
   ?config:(string * Bitvec.t array) list ->
   Design.t ->

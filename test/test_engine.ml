@@ -175,6 +175,148 @@ let test_pool_cancel () =
    | _ -> Alcotest.fail "running job should finish normally");
   Engine.Pool.shutdown pool
 
+let test_pool_timeout_no_wedge () =
+  (* A thunk that outlives its deadline keeps its worker busy until it
+     returns (cooperative cancellation), but the pool recovers: the next
+     job runs normally on the same worker. *)
+  let pool = Engine.Pool.create ~jobs:1 () in
+  let slow =
+    Engine.Pool.submit pool ~timeout_s:0.01 (fun () ->
+        Unix.sleepf 0.08;
+        1)
+  in
+  (match Engine.Pool.await slow with
+   | Error (Engine.Pool.Timeout _) -> ()
+   | Ok _ -> Alcotest.fail "slow job should time out"
+   | Error e ->
+     Alcotest.failf "expected timeout, got %s" (Engine.Pool.error_message e));
+  let next = Engine.Pool.submit pool (fun () -> 2) in
+  (match Engine.Pool.await next with
+   | Ok 2 -> ()
+   | _ -> Alcotest.fail "pool wedged after a timed-out job");
+  Engine.Pool.shutdown pool
+
+(* ----------------------------------------------------------- quarantine *)
+
+let test_cache_quarantine () =
+  let dir = fresh_dir () in
+  let s = compile_summary (fsm_design 17) in
+  let c1 = Engine.Cache.create ~dir () in
+  Engine.Cache.store c1 "goodkey" s;
+  Out_channel.with_open_text
+    (Filename.concat dir "rotkey.summary")
+    (fun oc -> Out_channel.output_string oc "not a summary at all");
+  let c2 = Engine.Cache.create ~dir () in
+  (match Engine.Cache.find c2 "rotkey" with
+   | None -> ()
+   | Some _ -> Alcotest.fail "corrupt entry should miss");
+  Alcotest.(check int) "quarantined count" 1
+    (Engine.Cache.stats c2).Engine.Cache.quarantined;
+  Alcotest.(check bool) "entry moved aside" true
+    (Sys.file_exists (Filename.concat dir "rotkey.corrupt"));
+  Alcotest.(check bool) "original gone" false
+    (Sys.file_exists (Filename.concat dir "rotkey.summary"));
+  (match Engine.Cache.find c2 "goodkey" with
+   | Some (s', `Disk) when s' = s -> ()
+   | _ -> Alcotest.fail "good entry lost after quarantine")
+
+(* -------------------------------------------------------------- journal *)
+
+let test_journal_roundtrip () =
+  let path = Filename.temp_file "journal" ".jsonl" in
+  let j = Engine.Journal.open_append path in
+  Engine.Journal.append j ~key:"a" ~value:(Ok "masked");
+  Engine.Journal.append j ~key:"b\"x\\y" ~value:(Ok "mismatch 3 out\twith tab");
+  Engine.Journal.append j ~key:"c" ~value:(Error "boom: \"quoted\"");
+  Engine.Journal.close j;
+  (match Engine.Journal.load path with
+   | [ a; b; c ] ->
+     Alcotest.(check string) "key a" "a" a.Engine.Journal.key;
+     (match a.Engine.Journal.value with
+      | Ok "masked" -> ()
+      | _ -> Alcotest.fail "value a");
+     Alcotest.(check string) "escaped key" "b\"x\\y" b.Engine.Journal.key;
+     (match b.Engine.Journal.value with
+      | Ok "mismatch 3 out\twith tab" -> ()
+      | _ -> Alcotest.fail "escaped value");
+     (match c.Engine.Journal.value with
+      | Error "boom: \"quoted\"" -> ()
+      | _ -> Alcotest.fail "error entry")
+   | l -> Alcotest.failf "expected 3 entries, got %d" (List.length l));
+  (* A torn tail record (kill mid-write) is skipped; prior entries load. *)
+  Out_channel.with_open_gen
+    [ Open_append; Open_text ]
+    0o644 path
+    (fun oc -> Out_channel.output_string oc "{\"k\":\"d\",\"v\":\"tru");
+  Alcotest.(check int) "torn tail skipped" 3
+    (List.length (Engine.Journal.load path));
+  Sys.remove path
+
+(* ---------------------------------------------------------------- batch *)
+
+let batch_codec =
+  {
+    Engine.Batch.encode = string_of_int;
+    decode =
+      (fun s ->
+        match int_of_string_opt s with
+        | Some i -> Ok i
+        | None -> Error "not an int");
+  }
+
+let test_batch_error_rows_and_retry () =
+  (* A deterministic failure settles as an Error row; the batch finishes. *)
+  let f x = if x = 3 then failwith "boom" else x * 10 in
+  (match Engine.Batch.run ~key:string_of_int ~codec:batch_codec f [ 1; 2; 3; 4 ] with
+   | [ Ok 10; Ok 20; Error _; Ok 40 ] -> ()
+   | _ -> Alcotest.fail "unexpected batch results");
+  (* A flaky item heals within the retry budget. *)
+  let attempts = ref 0 in
+  let flaky x =
+    if x = 1 then begin
+      incr attempts;
+      if !attempts < 3 then failwith "flaky"
+    end;
+    x
+  in
+  (match
+     Engine.Batch.run ~retries:3 ~backoff_s:0.001 ~key:string_of_int
+       ~codec:batch_codec flaky [ 1; 2 ]
+   with
+   | [ Ok 1; Ok 2 ] -> ()
+   | _ -> Alcotest.fail "retry did not heal the flaky job");
+  Alcotest.(check int) "took three attempts" 3 !attempts
+
+let test_batch_journal_resume () =
+  let path = Filename.temp_file "batch" ".jsonl" in
+  Sys.remove path;
+  let calls = ref 0 in
+  let f x =
+    incr calls;
+    x * x
+  in
+  let j = Engine.Journal.open_append path in
+  let first =
+    Engine.Batch.run ~journal:j ~key:string_of_int ~codec:batch_codec f
+      [ 1; 2; 3; 4; 5 ]
+  in
+  Engine.Journal.close j;
+  Alcotest.(check int) "computed every item" 5 !calls;
+  (* Resume: journaled results are decoded, never recomputed; new items
+     still run. *)
+  let resume = Engine.Journal.load path in
+  Alcotest.(check int) "everything journaled" 5 (List.length resume);
+  let again =
+    Engine.Batch.run ~resume ~key:string_of_int ~codec:batch_codec f
+      [ 1; 2; 3; 4; 5; 6 ]
+  in
+  Alcotest.(check int) "only the new item ran" 6 !calls;
+  (match again with
+   | [ Ok 1; Ok 4; Ok 9; Ok 16; Ok 25; Ok 36 ] -> ()
+   | _ -> Alcotest.fail "resumed results differ");
+  ignore first;
+  Sys.remove path
+
 (* --------------------------------------------------------------- engine *)
 
 let test_engine_coalesces_and_isolates () =
@@ -224,6 +366,37 @@ let test_determinism_parallel () =
   if s'.Engine.mem_hits <= s.Engine.mem_hits then
     Alcotest.fail "warm run reported no cache hits"
 
+let test_engine_retry_counts () =
+  let e = Engine.create ~jobs:1 ~retries:1 ~backoff_s:0.001 lib in
+  let d = fsm_design 13 in
+  let bad = { d with Rtl.Design.inputs = [] } in
+  (match Engine.run e [ Engine.job bad ] with
+   | [ Error _ ] -> ()
+   | _ -> Alcotest.fail "deterministically bad job should still fail");
+  Alcotest.(check int) "one retry recorded" 1 (Engine.stats e).Engine.retried
+
+let test_sweep_degrades_gracefully () =
+  (* An engine whose every job times out: the sweep still yields a full
+     row list of error cells and records each failure, instead of
+     aborting on the first one. *)
+  Engine.set_default (Engine.create ~jobs:1 ~timeout_s:1e-6 lib);
+  let before = List.length (Experiments.Exp_common.failures ()) in
+  let res =
+    Experiments.Exp_common.areas_result
+      [ Engine.job (fsm_design 19); Engine.job (fsm_design 23) ]
+  in
+  (match res with
+   | [ Error _; Error _ ] -> ()
+   | _ -> Alcotest.fail "expected every job to time out");
+  Alcotest.(check int) "failures recorded"
+    (before + 2)
+    (List.length (Experiments.Exp_common.failures ()));
+  Alcotest.(check string) "failed cell renders FAIL" "FAIL"
+    (Experiments.Exp_common.fmt_area_result (Error "x"));
+  Alcotest.(check string) "failed ratio renders dash" "-"
+    (Experiments.Exp_common.fmt_ratio_result (Error "x") (Ok 1.0));
+  Engine.set_default (Engine.create ~jobs:1 lib)
+
 let test_determinism_disk_cache () =
   let dir = fresh_dir () in
   Engine.set_default (Engine.create ~jobs:1 ~cache_dir:dir lib);
@@ -255,18 +428,36 @@ let () =
             test_summary_rejects_garbage;
         ] );
       ( "cache",
-        [ Alcotest.test_case "disk round-trip" `Quick test_cache_disk_roundtrip ] );
+        [
+          Alcotest.test_case "disk round-trip" `Quick test_cache_disk_roundtrip;
+          Alcotest.test_case "corrupt entry quarantined" `Quick
+            test_cache_quarantine;
+        ] );
       ( "pool",
         [
           Alcotest.test_case "exception isolation, order" `Quick
             test_pool_isolation_and_order;
           Alcotest.test_case "timeout" `Quick test_pool_timeout;
           Alcotest.test_case "cancellation" `Quick test_pool_cancel;
+          Alcotest.test_case "timeout does not wedge the pool" `Quick
+            test_pool_timeout_no_wedge;
+        ] );
+      ( "journal",
+        [ Alcotest.test_case "round-trip, torn tail" `Quick
+            test_journal_roundtrip ] );
+      ( "batch",
+        [
+          Alcotest.test_case "error rows and retry" `Quick
+            test_batch_error_rows_and_retry;
+          Alcotest.test_case "journal resume" `Quick test_batch_journal_resume;
         ] );
       ( "engine",
         [
           Alcotest.test_case "coalescing and isolation" `Quick
             test_engine_coalesces_and_isolates;
+          Alcotest.test_case "retry counter" `Quick test_engine_retry_counts;
+          Alcotest.test_case "sweep degrades gracefully" `Quick
+            test_sweep_degrades_gracefully;
           Alcotest.test_case "fig5 sequential = -j 4 = warm" `Quick
             test_determinism_parallel;
           Alcotest.test_case "fig5 cold = warm disk cache" `Quick

@@ -1,0 +1,215 @@
+(* The fault-injection subsystem: site enumeration, golden-vs-faulty
+   classification (masked / mismatch / hang), campaign determinism across
+   worker counts, and crash-resilient journal resume. *)
+
+let lib = Cells.Library.vt90
+
+let small_fsm seed =
+  Workload.Rand_fsm.generate ~seed ~num_inputs:2 ~num_outputs:4 ~num_states:5
+
+(* A flexible FSM with its tables bound as simulation config — the richest
+   fault surface: config tables plus state/config registers. *)
+let flexible_spec ?(cycles = 12) seed =
+  let fsm = small_fsm seed in
+  let design = Core.Fsm_ir.to_flexible_rtl ~annotate:false fsm in
+  let config = Core.Fsm_ir.config_bindings fsm in
+  let rng = Workload.Rng.make (seed + 100) in
+  let stimulus =
+    List.init cycles (fun _ -> [ ("in", Workload.Rng.bitvec rng ~width:2) ])
+  in
+  Fault.Sim.spec ~config ~stimulus ~watch:[ "out" ] design
+
+(* ------------------------------------------------------- classification *)
+
+let test_control_all_masked () =
+  let spec = flexible_spec 1 in
+  let report =
+    Fault.Campaign.run ~seed:0 ~sites:0 ~model:Fault.Campaign.Control spec
+  in
+  Alcotest.(check int) "one control site" 1 report.Fault.Campaign.injected;
+  Alcotest.(check int) "100% masked" 1 report.Fault.Campaign.masked;
+  Alcotest.(check int) "no failures" 0 report.Fault.Campaign.failed
+
+let test_table_flip_visible () =
+  let spec = flexible_spec 1 in
+  let report =
+    Fault.Campaign.run ~seed:0 ~sites:0 ~model:Fault.Campaign.Tables spec
+  in
+  let config_bits =
+    List.fold_left
+      (fun acc (_, c) ->
+        Array.fold_left (fun a v -> a + Bitvec.width v) acc c)
+      0 spec.Fault.Sim.config
+  in
+  Alcotest.(check int) "population = bound config bits" config_bits
+    report.Fault.Campaign.population;
+  Alcotest.(check int) "exhaustive" config_bits report.Fault.Campaign.injected;
+  Alcotest.(check bool) "at least one flip visible at the outputs" true
+    (report.Fault.Campaign.mismatches >= 1);
+  Alcotest.(check bool) "but not every flip (reachability masks)" true
+    (report.Fault.Campaign.masked >= 1);
+  Alcotest.(check int) "every site classified"
+    report.Fault.Campaign.injected
+    (report.Fault.Campaign.masked + report.Fault.Campaign.mismatches
+     + report.Fault.Campaign.hangs);
+  Alcotest.(check int) "no job failures" 0 report.Fault.Campaign.failed
+
+let test_reg_upset_hang () =
+  (* A 1-bit self-holding register drives [done]; upsetting it at cycle 0
+     clears it forever, so the faulty run never completes: a hang, not a
+     mismatch. *)
+  let b = Rtl.Builder.create "hangy" in
+  let q = Rtl.Builder.reg_declare b ~init:(Bitvec.ones 1) "alive" ~width:1 in
+  Rtl.Builder.reg_connect b "alive" q;
+  Rtl.Builder.output b "done" q;
+  let design = Rtl.Builder.finish b in
+  let stimulus = List.init 4 (fun _ -> []) in
+  let spec = Fault.Sim.spec ~done_signal:"done" ~stimulus ~watch:[] design in
+  let golden = Fault.Sim.golden spec in
+  Alcotest.(check bool) "golden completes" true golden.Fault.Sim.done_seen;
+  match
+    Fault.Sim.run_site spec golden
+      (Fault.Site.Reg_bit { reg = "alive"; bit = 0; cycle = 0 })
+  with
+  | Fault.Sim.Hang _ -> ()
+  | o ->
+    Alcotest.failf "expected hang, got %s" (Fault.Sim.outcome_to_string o)
+
+let test_outcome_codec () =
+  List.iter
+    (fun o ->
+      match Fault.Sim.outcome_of_string (Fault.Sim.outcome_to_string o) with
+      | Ok o' when o = o' -> ()
+      | Ok o' ->
+        Alcotest.failf "codec mangled %s into %s"
+          (Fault.Sim.outcome_to_string o)
+          (Fault.Sim.outcome_to_string o')
+      | Error m -> Alcotest.failf "codec rejected its own encoding: %s" m)
+    [
+      Fault.Sim.Masked;
+      Fault.Sim.Mismatch { cycle = 3; signal = "out 2" };
+      Fault.Sim.Hang "done never asserted within 24 cycles";
+    ]
+
+(* ---------------------------------------------------------- determinism *)
+
+let test_campaign_deterministic () =
+  let spec = flexible_spec 2 in
+  let run jobs =
+    Fault.Campaign.run ~jobs ~seed:7 ~sites:20 ~model:Fault.Campaign.All spec
+  in
+  let a = run 1 in
+  Alcotest.(check bool) "same seed, same report" true (a = run 1);
+  Alcotest.(check bool) "independent of worker count" true (a = run 3);
+  let sites (r : Fault.Campaign.report) =
+    List.map (fun row -> row.Fault.Campaign.site) r.Fault.Campaign.rows
+  in
+  let b = Fault.Campaign.run ~seed:8 ~sites:20 ~model:Fault.Campaign.All spec in
+  Alcotest.(check bool) "different seed, different sample" true
+    (sites a <> sites b);
+  (* The control site survives sampling under the All model. *)
+  Alcotest.(check bool) "control site retained" true
+    (List.mem Fault.Site.No_fault (sites a))
+
+let test_campaign_resume_identical () =
+  let spec = flexible_spec 3 in
+  let path = Filename.temp_file "fault" ".jsonl" in
+  Sys.remove path;
+  let model = Fault.Campaign.Tables in
+  let fresh = Fault.Campaign.run ~seed:5 ~sites:16 ~model spec in
+  let j = Engine.Journal.open_append path in
+  let journaled = Fault.Campaign.run ~journal:j ~seed:5 ~sites:16 ~model spec in
+  Engine.Journal.close j;
+  Alcotest.(check bool) "journaling does not change the report" true
+    (fresh = journaled);
+  let entries = Engine.Journal.load path in
+  Alcotest.(check int) "every site journaled" 16 (List.length entries);
+  (* Resume from a partial journal, as if the first run was killed. *)
+  let partial = List.filteri (fun i _ -> i < 7) entries in
+  let resumed =
+    Fault.Campaign.run ~resume:partial ~seed:5 ~sites:16 ~model spec
+  in
+  Alcotest.(check bool) "resumed report = fresh report" true (fresh = resumed);
+  let render r =
+    Fault.Campaign.to_table r ^ Fault.Campaign.summary_line r
+  in
+  Alcotest.(check string) "rendered output byte-identical" (render fresh)
+    (render resumed);
+  Sys.remove path
+
+(* ------------------------------------------------------------- netlist *)
+
+let test_stuck_at_netlist () =
+  let fsm = small_fsm 4 in
+  let design =
+    Synth.Partial_eval.bind_tables
+      (Core.Fsm_ir.to_flexible_rtl fsm)
+      (Core.Fsm_ir.config_bindings fsm)
+  in
+  let aig = (Synth.Flow.compile lib design).Synth.Flow.aig in
+  let aspec = { Fault.Sim.aig; cycles = 16; seed = 11 } in
+  let golden = Fault.Sim.aig_golden aspec in
+  (match Fault.Sim.aig_run_site aspec golden Fault.Site.No_fault with
+   | Fault.Sim.Masked -> ()
+   | o ->
+     Alcotest.failf "no-fault netlist run should mask, got %s"
+       (Fault.Sim.outcome_to_string o));
+  let sites = Fault.Site.stuck_sites aig in
+  Alcotest.(check bool) "both polarities for every AND" true
+    (List.length sites = 2 * Aig.num_ands aig && sites <> []);
+  let outcomes = List.map (Fault.Sim.aig_run_site aspec golden) sites in
+  let visible =
+    List.length
+      (List.filter (function Fault.Sim.Mismatch _ -> true | _ -> false) outcomes)
+  in
+  Alcotest.(check bool) "some stuck faults reach an output" true (visible > 0);
+  Alcotest.(check bool) "some stuck faults are masked" true
+    (visible < List.length sites)
+
+(* ----------------------------------------------------------------- vcd *)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let test_vcd_of_first_mismatch () =
+  let spec = flexible_spec 1 in
+  let report =
+    Fault.Campaign.run ~seed:0 ~sites:0 ~model:Fault.Campaign.Tables spec
+  in
+  match Fault.Campaign.first_mismatch report with
+  | None -> Alcotest.fail "exhaustive table campaign found no mismatch"
+  | Some site ->
+    let vcd = Fault.Sim.vcd_site spec site in
+    Alcotest.(check bool) "declares the watched signal" true
+      (contains vcd "out");
+    Alcotest.(check bool) "well-formed header" true
+      (contains vcd "$enddefinitions")
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "classify",
+        [
+          Alcotest.test_case "control campaign 100% masked" `Quick
+            test_control_all_masked;
+          Alcotest.test_case "table bit flip visible" `Quick
+            test_table_flip_visible;
+          Alcotest.test_case "register upset hang" `Quick test_reg_upset_hang;
+          Alcotest.test_case "outcome codec round-trip" `Quick
+            test_outcome_codec;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "deterministic across seeds and jobs" `Quick
+            test_campaign_deterministic;
+          Alcotest.test_case "journal resume identical" `Quick
+            test_campaign_resume_identical;
+        ] );
+      ( "netlist",
+        [ Alcotest.test_case "stuck-at on the mapped AIG" `Quick
+            test_stuck_at_netlist ] );
+      ( "vcd", [ Alcotest.test_case "first mismatch trace" `Quick
+                   test_vcd_of_first_mismatch ] );
+    ]
