@@ -15,9 +15,12 @@
      --cache-dir DIR  persist synthesis results across runs
      --no-cache       disable result caching entirely
      --json PATH      also write figure rows + engine stats as JSON
+     --trace PATH     write a Chrome trace (one span per synthesis pass)
+     --metrics        print the process metrics table to stderr
 
-   Figure tables go to stdout; engine statistics go to stderr, so stdout is
-   byte-identical across -j values and cache temperatures. A sweep with
+   Figure tables go to stdout; engine statistics, metrics and traces go to
+   stderr or to their own files, so stdout is byte-identical across -j
+   values, cache temperatures and observability settings. A sweep with
    failed compiles still prints every figure (failed cells render as FAIL)
    and exits 1 after listing the failures on stderr. *)
 
@@ -249,7 +252,7 @@ let usage () =
     "usage: main.exe \
      [all|quick|fig5|fig6|fig8|fig9|fault|ablations|ablate-cone|ablate-twolevel|ablate-cap|ablate-encodings|ablate-library|ablate-ucode|perf]\n\
      \       [-j N] [--timeout-s S] [--retries N] [--cache-dir DIR] \
-     [--no-cache] [--json PATH]";
+     [--no-cache] [--json PATH] [--trace PATH] [--metrics]";
   exit 2
 
 let () =
@@ -260,6 +263,8 @@ let () =
   let cache_dir = ref None in
   let no_cache = ref false in
   let json_path = ref None in
+  let trace_path = ref None in
+  let metrics = ref false in
   let rec parse = function
     | [] -> ()
     | ("-j" | "--jobs") :: n :: rest ->
@@ -291,11 +296,22 @@ let () =
       json_path := Some path;
       parse rest
     | [ "--json" ] -> usage ()
+    | "--trace" :: path :: rest ->
+      trace_path := Some path;
+      parse rest
+    | [ "--trace" ] -> usage ()
+    | "--metrics" :: rest ->
+      metrics := true;
+      parse rest
     | cmd :: rest ->
       commands := !commands @ [ cmd ];
       parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
+  (* Observability on when either sink was requested. The at_exit hook
+     makes the trace survive the failed-sweep exit-1 path. *)
+  if !metrics || !trace_path <> None then Obs.set_enabled true;
+  Option.iter Obs.Trace.install_at_exit !trace_path;
   (match
      Engine.create ~jobs:!jobs ?cache_dir:!cache_dir ~no_cache:!no_cache
        ?timeout_s:!timeout_s ~retries:!retries Cells.Library.vt90
@@ -330,6 +346,7 @@ let () =
   in
   let stats = Engine.stats (Engine.default ()) in
   prerr_string (Engine.stats_table stats);
+  if !metrics then prerr_string (Obs.Metrics.to_table ());
   let failures = Experiments.Exp_common.failures () in
   Option.iter
     (fun path ->
@@ -339,7 +356,9 @@ let () =
             ("figures", Json.Obj figures);
             ("failures",
              Json.List (List.map (fun m -> Json.String m) failures));
-            ("engine", engine_stats_json stats) ]
+            ("engine", engine_stats_json stats);
+            ("metrics",
+             if Obs.enabled () then Obs.Metrics.to_json () else Json.Null) ]
       in
       try Out_channel.with_open_text path (fun oc -> Json.to_channel oc doc)
       with Sys_error msg ->

@@ -97,7 +97,25 @@ let engine_term =
                    quarantined cache entries, wall vs cpu time) to stderr \
                    after the run.")
   in
-  let setup jobs cache_dir no_cache timeout_s retries stats =
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"PATH"
+             ~doc:"Write a Chrome trace (chrome://tracing JSON, one span \
+                   per synthesis pass / campaign) to $(docv) on exit. \
+                   Never touches stdout.")
+  in
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Print the process metrics table (pass deltas, pool \
+                   queueing, cache traffic, simulated cycles) to stderr \
+                   after the run.")
+  in
+  let setup jobs cache_dir no_cache timeout_s retries stats trace metrics =
+    (* Observability on when either sink was requested; the at_exit hook
+       writes the trace even on nonzero-exit paths. *)
+    if metrics || trace <> None then Obs.set_enabled true;
+    Option.iter Obs.Trace.install_at_exit trace;
     let reconfigure l =
       match Engine.create ~jobs ?cache_dir ~no_cache ?timeout_s ~retries l with
       | e -> Engine.set_default e
@@ -112,13 +130,15 @@ let engine_term =
         (fun () ->
           if stats then
             prerr_string
-              (Engine.stats_table (Engine.stats (Engine.default ()))));
+              (Engine.stats_table (Engine.stats (Engine.default ())));
+          if metrics then prerr_string (Obs.Metrics.to_table ()));
       sim_jobs = (if jobs = 0 then Domain.recommended_domain_count () else jobs);
       timeout_s;
       retries;
     }
   in
-  Term.(const setup $ jobs $ cache_dir $ no_cache $ timeout_s $ retries $ stats)
+  Term.(const setup $ jobs $ cache_dir $ no_cache $ timeout_s $ retries $ stats
+        $ trace $ metrics)
 
 let engine_report ?options d =
   Engine.report_exn (Engine.default ()) (Engine.job ?options d)

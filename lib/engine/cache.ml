@@ -16,6 +16,14 @@ type t = {
   mutable quarantined : int;
 }
 
+(* Process-wide cache metrics, aggregated across cache instances (each
+   instance additionally keeps its own [stats] for the engine table). *)
+let m_mem_hits = Obs.Metrics.counter "engine.cache.mem_hits"
+let m_disk_hits = Obs.Metrics.counter "engine.cache.disk_hits"
+let m_misses = Obs.Metrics.counter "engine.cache.misses"
+let m_stores = Obs.Metrics.counter "engine.cache.stores"
+let m_quarantined = Obs.Metrics.counter "engine.cache.quarantined"
+
 let rec mkdir_p path =
   if path <> "" && path <> "/" && not (Sys.file_exists path) then begin
     mkdir_p (Filename.dirname path);
@@ -45,7 +53,8 @@ let quarantine_path dir key = Filename.concat dir (key ^ ".corrupt")
 let quarantine t dir key =
   (try Sys.rename (entry_path dir key) (quarantine_path dir key)
    with Sys_error _ -> ());
-  t.quarantined <- t.quarantined + 1
+  t.quarantined <- t.quarantined + 1;
+  Obs.Metrics.incr m_quarantined
 
 let disk_find t dir key =
   let path = entry_path dir key in
@@ -77,20 +86,24 @@ let find t key =
   match Hashtbl.find_opt t.table key with
   | Some s ->
     t.mem_hits <- t.mem_hits + 1;
+    Obs.Metrics.incr m_mem_hits;
     Some (s, `Memory)
   | None ->
     (match Option.bind t.dir (fun dir -> disk_find t dir key) with
      | Some s ->
        Hashtbl.replace t.table key s;
        t.disk_hits <- t.disk_hits + 1;
+       Obs.Metrics.incr m_disk_hits;
        Some (s, `Disk)
      | None ->
        t.misses <- t.misses + 1;
+       Obs.Metrics.incr m_misses;
        None)
 
 let store t key summary =
   Hashtbl.replace t.table key summary;
   t.stores <- t.stores + 1;
+  Obs.Metrics.incr m_stores;
   Option.iter (fun dir -> disk_store dir key summary) t.dir
 
 let stats t =

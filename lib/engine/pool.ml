@@ -10,6 +10,15 @@ let error_message = function
 
 let now () = Unix.gettimeofday ()
 
+(* Pool observability (no-ops while Obs is disabled): job counts, queue
+   high-water mark, queueing delay vs execution time, and per-worker busy
+   time (one observation per worker at pool shutdown). *)
+let m_jobs = Obs.Metrics.counter "engine.pool.jobs"
+let m_queue_depth = Obs.Metrics.gauge "engine.pool.queue_depth_max"
+let m_wait = Obs.Metrics.histogram "engine.pool.wait_s"
+let m_run = Obs.Metrics.histogram "engine.pool.run_s"
+let m_busy = Obs.Metrics.histogram "engine.pool.worker_busy_s"
+
 type 'a state =
   | Queued of (unit -> 'a)
   | Running
@@ -91,6 +100,7 @@ let run_claimed p thunk =
   settle p result
 
 let worker t () =
+  let busy = ref 0.0 in
   let rec loop () =
     Mutex.lock t.mutex;
     while Queue.is_empty t.queue && not t.closed do
@@ -101,11 +111,21 @@ let worker t () =
       let p = Queue.pop t.queue in
       Condition.signal t.not_full;
       Mutex.unlock t.mutex;
-      (match claim p with `Run thunk -> run_claimed p thunk | `Skip -> ());
+      (match claim p with
+       | `Run thunk when Obs.enabled () ->
+         Obs.Metrics.observe m_wait (now () -. p.submitted_at);
+         let t0 = now () in
+         run_claimed p thunk;
+         let dt = now () -. t0 in
+         busy := !busy +. dt;
+         Obs.Metrics.observe m_run dt
+       | `Run thunk -> run_claimed p thunk
+       | `Skip -> ());
       loop ()
     end
   in
-  loop ()
+  loop ();
+  if Obs.enabled () then Obs.Metrics.observe m_busy !busy
 
 let create ?queue_cap ~jobs () =
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
@@ -150,8 +170,11 @@ let submit t ?timeout_s thunk =
     invalid_arg "Pool.submit: pool is shut down"
   end;
   Queue.push p t.queue;
+  let depth = Queue.length t.queue in
   Condition.signal t.not_empty;
   Mutex.unlock t.mutex;
+  Obs.Metrics.incr m_jobs;
+  Obs.Metrics.set_max m_queue_depth (float_of_int depth);
   p
 
 let cancel p =
@@ -190,6 +213,7 @@ let shutdown t =
 (* Inline execution with the same isolation/timeout semantics as a worker,
    for the sequential path. *)
 let run_inline ?timeout_s thunk =
+  Obs.Metrics.incr m_jobs;
   let t0 = now () in
   let result =
     match thunk () with
@@ -198,6 +222,7 @@ let run_inline ?timeout_s thunk =
       let backtrace = Printexc.get_backtrace () in
       Error (Exn { exn = Printexc.to_string e; backtrace })
   in
+  if Obs.enabled () then Obs.Metrics.observe m_run (now () -. t0);
   match (result, timeout_s) with
   | Ok _, Some s when now () -. t0 > s -> Error (Timeout (now () -. t0))
   | r, _ -> r

@@ -78,6 +78,15 @@ let enumerate ?aig ~seed ~sites ~model (spec : Sim.spec) =
 
 let run ?(jobs = 1) ?timeout_s ?(retries = 0) ?(backoff_s = 0.05) ?journal
     ?(resume = []) ?on_checkpoint ?aig ~seed ~sites ~model (spec : Sim.spec) =
+  Obs.Span.with_span
+    ~args:
+      [
+        ("model", Obs.Span.Str (model_name model));
+        ("seed", Obs.Span.Int seed);
+      ]
+    "fault.campaign"
+  @@ fun () ->
+  let t_start = Obs.now_us () in
   let population, injected = enumerate ?aig ~seed ~sites ~model spec in
   let needs_rtl =
     List.exists (function Site.Stuck_at _ -> false | _ -> true) injected
@@ -107,21 +116,46 @@ let run ?(jobs = 1) ?timeout_s ?(retries = 0) ?(backoff_s = 0.05) ?journal
   in
   let rows = List.map2 (fun site result -> { site; result }) injected results in
   let count p = List.length (List.filter p rows) in
-  {
-    model;
-    seed;
-    population = List.length population;
-    injected = List.length injected;
-    masked = count (fun r -> r.result = Ok Sim.Masked);
-    mismatches =
-      count (fun r ->
-          match r.result with Ok (Sim.Mismatch _) -> true | _ -> false);
-    hangs =
-      count (fun r -> match r.result with Ok (Sim.Hang _) -> true | _ -> false);
-    failed =
-      count (fun r -> match r.result with Error _ -> true | _ -> false);
-    rows;
-  }
+  let report =
+    {
+      model;
+      seed;
+      population = List.length population;
+      injected = List.length injected;
+      masked = count (fun r -> r.result = Ok Sim.Masked);
+      mismatches =
+        count (fun r ->
+            match r.result with Ok (Sim.Mismatch _) -> true | _ -> false);
+      hangs =
+        count (fun r ->
+            match r.result with Ok (Sim.Hang _) -> true | _ -> false);
+      failed =
+        count (fun r -> match r.result with Error _ -> true | _ -> false);
+      rows;
+    }
+  in
+  if Obs.enabled () then begin
+    let c name by = Obs.Metrics.incr ~by (Obs.Metrics.counter name) in
+    c "fault.sites" report.injected;
+    c "fault.masked" report.masked;
+    c "fault.mismatches" report.mismatches;
+    c "fault.hangs" report.hangs;
+    c "fault.failed" report.failed;
+    let dt_s = (Obs.now_us () -. t_start) /. 1e6 in
+    if dt_s > 0.0 then
+      Obs.Metrics.set
+        (Obs.Metrics.gauge "fault.sites_per_s")
+        (float_of_int report.injected /. dt_s);
+    Obs.Span.add_args
+      [
+        ("sites", Obs.Span.Int report.injected);
+        ("masked", Obs.Span.Int report.masked);
+        ("mismatches", Obs.Span.Int report.mismatches);
+        ("hangs", Obs.Span.Int report.hangs);
+        ("failed", Obs.Span.Int report.failed);
+      ]
+  end;
+  report
 
 let first_mismatch report =
   List.find_map

@@ -1,0 +1,17 @@
+(* Process-wide observability switch and time anchor.
+
+   Off by default: every record operation in Span/Metrics checks [on ()]
+   first and returns immediately, so uninstrumented runs pay one atomic
+   load per call site and allocate nothing. The anchor [t0] is captured at
+   module initialization; all span timestamps are reported relative to it
+   (Chrome's trace viewer expects small microsecond offsets, not epochs). *)
+
+let enabled = Atomic.make false
+
+let on () = Atomic.get enabled
+
+let set_enabled b = Atomic.set enabled b
+
+let t0 = Unix.gettimeofday ()
+
+let now_us () = (Unix.gettimeofday () -. t0) *. 1e6

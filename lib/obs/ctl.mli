@@ -1,0 +1,10 @@
+(** Process-wide observability switch and time anchor (internal). *)
+
+val on : unit -> bool
+(** True when observability is enabled; checked first by every record
+    operation so the disabled path costs one atomic load. *)
+
+val set_enabled : bool -> unit
+
+val now_us : unit -> float
+(** Microseconds since the process-wide anchor (library load time). *)

@@ -1,0 +1,47 @@
+(** Process-wide counters, gauges and histograms.
+
+    Handles are get-or-create by name, so instrumented modules create them
+    once at initialization and bump them from any domain: counters are
+    atomic, gauges and histograms take the registry mutex per update. All
+    record operations are no-ops while observability is disabled (see
+    {!Obs.set_enabled}); {!reset} zeroes values in place without
+    invalidating existing handles.
+
+    Naming scheme (see DESIGN.md §10): dot-separated
+    [<subsystem>.<object>.<quantity>], with seconds suffixed [_s] —
+    e.g. [engine.pool.wait_s], [synth.flow.collapse.nodes_removed]. *)
+
+type counter
+type gauge
+type hist
+
+val counter : string -> counter
+(** @raise Invalid_argument if the name is registered as another kind. *)
+
+val gauge : string -> gauge
+val histogram : string -> hist
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val set : gauge -> float -> unit
+val set_max : gauge -> float -> unit
+(** Keep the maximum of the recorded values (high-water mark). *)
+
+val observe : hist -> float -> unit
+
+type snapshot =
+  | Counter_v of int
+  | Gauge_v of float
+  | Hist_v of { count : int; sum : float; min_v : float; max_v : float }
+
+val snapshot : unit -> (string * snapshot) list
+(** All registered metrics, sorted by name. *)
+
+val reset : unit -> unit
+
+val to_table : unit -> string
+(** Fixed-width table of the snapshot ({!Report.Table} format). *)
+
+val to_json : unit -> Report.Json.t
+(** Object keyed by metric name; each value carries its kind. *)

@@ -1,0 +1,13 @@
+module Span = Span
+module Metrics = Metrics
+module Trace = Trace
+
+let set_enabled = Ctl.set_enabled
+
+let enabled = Ctl.on
+
+let now_us = Ctl.now_us
+
+let reset () =
+  Span.reset ();
+  Metrics.reset ()

@@ -66,3 +66,192 @@ let to_string v =
 let to_channel oc v =
   output_string oc (to_string v);
   output_char oc '\n'
+
+(* ----------------------------------------------------------------- parse *)
+
+exception Parse of string
+
+let of_string text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let error fmt =
+    Printf.ksprintf (fun msg -> raise (Parse (Printf.sprintf "at %d: %s" !pos msg))) fmt
+  in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match text.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> error "expected %C, found %C" c c'
+    | None -> error "expected %C, found end of input" c
+  in
+  let literal word v =
+    if !pos + String.length word <= n
+       && String.sub text !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else error "invalid literal"
+  in
+  let utf8_of_code b code =
+    (* Only the BMP can appear in a \uXXXX escape (surrogate pairs are not
+       recombined — each half encodes separately, matching the emitter's
+       byte-preserving behaviour for control characters). *)
+    if code < 0x80 then Buffer.add_char b (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then error "unterminated string";
+      let c = text.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents b
+      | '\\' ->
+        (if !pos >= n then error "unterminated escape";
+         let e = text.[!pos] in
+         advance ();
+         match e with
+         | '"' -> Buffer.add_char b '"'
+         | '\\' -> Buffer.add_char b '\\'
+         | '/' -> Buffer.add_char b '/'
+         | 'b' -> Buffer.add_char b '\b'
+         | 'f' -> Buffer.add_char b '\012'
+         | 'n' -> Buffer.add_char b '\n'
+         | 'r' -> Buffer.add_char b '\r'
+         | 't' -> Buffer.add_char b '\t'
+         | 'u' ->
+           if !pos + 4 > n then error "truncated \\u escape";
+           let hex = String.sub text !pos 4 in
+           pos := !pos + 4;
+           (match int_of_string_opt ("0x" ^ hex) with
+            | Some code -> utf8_of_code b code
+            | None -> error "bad \\u escape %S" hex)
+         | c -> error "bad escape \\%C" c);
+        go ()
+      | c when Char.code c < 0x20 -> error "raw control character in string"
+      | c ->
+        Buffer.add_char b c;
+        go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let is_float = ref false in
+    let rec go () =
+      match peek () with
+      | Some ('0' .. '9') ->
+        advance ();
+        go ()
+      | Some ('.' | 'e' | 'E' | '+' | '-') ->
+        is_float := true;
+        advance ();
+        go ()
+      | _ -> ()
+    in
+    go ();
+    let s = String.sub text start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> error "bad number %S" s
+    else begin
+      match int_of_string_opt s with
+      | Some i -> Int i
+      | None ->
+        (match float_of_string_opt s with
+         | Some f -> Float f (* out of int range *)
+         | None -> error "bad number %S" s)
+    end
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> String (parse_string ())
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let items = ref [ parse_value () ] in
+        let rec go () =
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items := parse_value () :: !items;
+            go ()
+          | Some ']' -> advance ()
+          | _ -> error "expected ',' or ']'"
+        in
+        go ();
+        List (Stdlib.List.rev !items)
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          (k, parse_value ())
+        in
+        let fields = ref [ field () ] in
+        let rec go () =
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields := field () :: !fields;
+            go ()
+          | Some '}' -> advance ()
+          | _ -> error "expected ',' or '}'"
+        in
+        go ();
+        Obj (Stdlib.List.rev !fields)
+      end
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> error "unexpected character %C" c
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos < n then error "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse msg -> Error msg

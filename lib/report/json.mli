@@ -1,9 +1,10 @@
-(** Minimal JSON emission for machine-readable benchmark output.
+(** Minimal JSON for machine-readable benchmark output.
 
-    Emission only — the harness writes results, nothing here reads them.
     Floats render with the shortest decimal form that round-trips
     ([%.15g], widened to [%.17g] when needed); NaN and infinities, which
-    JSON cannot express, render as [null]. *)
+    JSON cannot express, render as [null]. {!of_string} is the inverse,
+    added so tests (and downstream tools) can validate the harness's own
+    emissions — trace files, [--json] dumps — without new dependencies. *)
 
 type t =
   | Null
@@ -19,3 +20,8 @@ val to_string : t -> string
 
 val to_channel : out_channel -> t -> unit
 (** [to_string] plus a trailing newline. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document (standard JSON; numbers without [.]/[e] parse
+    as [Int], others as [Float]). [Error] carries a position-annotated
+    message. *)

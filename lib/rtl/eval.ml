@@ -1,5 +1,10 @@
 module Smap = Map.Make (String)
 
+(* Simulation volume metrics: how many interpreter instances ran and how
+   many cycles they stepped (the fault campaigns' dominant cost). *)
+let m_instances = Obs.Metrics.counter "rtl.eval.instances"
+let m_cycles = Obs.Metrics.counter "rtl.eval.cycles"
+
 type state = {
   d : Design.t;
   ordered_nets : (Signal.t * Expr.t) list;
@@ -39,6 +44,7 @@ let create ?(config = []) d =
       (fun m (r : Design.reg) -> Smap.add r.q.Signal.name r.init m)
       Smap.empty d.regs
   in
+  Obs.Metrics.incr m_instances;
   { d; ordered_nets = Design.net_order d; tables; inputs; regs; rst = false }
 
 let design st = st.d
@@ -105,6 +111,7 @@ let peek st name =
      | None -> invalid_arg ("Eval.peek: unknown signal " ^ name))
 
 let step st =
+  Obs.Metrics.incr m_cycles;
   let env = comb_env st in
   let next (r : Design.reg) =
     let old = Smap.find r.q.Signal.name st.regs in

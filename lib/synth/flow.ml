@@ -31,8 +31,71 @@ exception Self_check_failed of Equiv.mismatch
 
 let area r = Map.total r.report
 
+(* --------------------------------------------------------------- tracing *)
+
+(* Every pass boundary is a span carrying the AIG size before and after,
+   so a trace alone answers "which pass spent the time and which removed
+   the nodes" per pass and per iteration; the same deltas accumulate into
+   process counters for the --metrics table. All of it is skipped (single
+   atomic load) when observability is off. *)
+
+let max_level g =
+  let lv = Aig.levels g in
+  let m = ref 0 in
+  for i = 0 to Aig.num_nodes g - 1 do
+    m := max !m (lv i)
+  done;
+  !m
+
+let graph_args tag g =
+  [
+    (tag ^ "_ands", Obs.Span.Int (Aig.num_ands g));
+    (tag ^ "_latches", Obs.Span.Int (Aig.num_latches g));
+    (tag ^ "_level", Obs.Span.Int (max_level g));
+  ]
+
+let traced_pass name ~iter f g =
+  if not (Obs.enabled ()) then f g
+  else
+    Obs.Span.with_span
+      ~args:(("iter", Obs.Span.Int iter) :: graph_args "in" g)
+      ("flow." ^ name)
+      (fun () ->
+        let t0 = Obs.now_us () in
+        let g' = f g in
+        let dt_s = (Obs.now_us () -. t0) /. 1e6 in
+        Obs.Span.add_args
+          (graph_args "out" g'
+           @ [
+               ("delta_ands", Obs.Span.Int (Aig.num_ands g' - Aig.num_ands g));
+               ( "delta_latches",
+                 Obs.Span.Int (Aig.num_latches g' - Aig.num_latches g) );
+             ]);
+        Obs.Metrics.incr
+          ~by:(Aig.num_ands g - Aig.num_ands g')
+          (Obs.Metrics.counter ("synth.flow." ^ name ^ ".ands_removed"));
+        Obs.Metrics.incr
+          ~by:(Aig.num_latches g - Aig.num_latches g')
+          (Obs.Metrics.counter ("synth.flow." ^ name ^ ".latches_removed"));
+        Obs.Metrics.observe
+          (Obs.Metrics.histogram ("synth.flow." ^ name ^ "_s"))
+          dt_s;
+        g')
+
+(* ---------------------------------------------------------------- flow *)
+
 let compile ?(options = default) lib design =
-  let lowered = Lower.run design in
+  Obs.Span.with_span
+    ~args:[ ("design", Obs.Span.Str design.Rtl.Design.name) ]
+    "flow.compile"
+  @@ fun () ->
+  Obs.Metrics.incr (Obs.Metrics.counter "synth.flow.compiles");
+  let lowered =
+    Obs.Span.with_span "flow.lower" (fun () ->
+        let l = Lower.run design in
+        if Obs.enabled () then Obs.Span.add_args (graph_args "out" l.Lower.aig);
+        l)
+  in
   let honored =
     Annots.honored
       ~tool:options.honor_tool_annots
@@ -41,23 +104,35 @@ let compile ?(options = default) lib design =
       (Annots.extract lowered)
   in
   let relocate g = List.filter_map (Annots.relocate g) honored in
-  let g = Sweep.run lowered.Lower.aig in
-  let g = if options.retime then Retime.run g else g in
+  let g = traced_pass "sweep" ~iter:1 Sweep.run lowered.Lower.aig in
+  let g = if options.retime then traced_pass "retime" ~iter:1 Retime.run g else g in
   let g =
     if options.stateprop && honored <> [] then
-      Stateprop.run ~annots:(relocate g) g
+      traced_pass "stateprop" ~iter:1
+        (fun g -> Stateprop.run ~annots:(relocate g) g)
+        g
     else g
   in
-  let collapse g =
-    Collapse.run ~cap:options.collapse_cap
-      ~espresso_iters:options.espresso_iters ~annots:(relocate g) g
+  let collapse iter g =
+    traced_pass "collapse" ~iter
+      (fun g ->
+        Collapse.run ~cap:options.collapse_cap
+          ~espresso_iters:options.espresso_iters ~annots:(relocate g) g)
+      g
   in
-  let g = Sweep.run (collapse g) in
-  let g = Sweep.run (collapse g) in
-  if options.self_check then begin
-    match Equiv.aig_vs_aig ~seed:4242 lowered.Lower.aig g with
-    | Some m -> raise (Self_check_failed m)
-    | None -> ()
-  end;
-  let report = Map.run lib g in
+  let g = traced_pass "sweep" ~iter:2 Sweep.run (collapse 1 g) in
+  let g = traced_pass "sweep" ~iter:3 Sweep.run (collapse 2 g) in
+  if options.self_check then
+    Obs.Span.with_span "flow.self_check" (fun () ->
+        match Equiv.aig_vs_aig ~seed:4242 lowered.Lower.aig g with
+        | Some m -> raise (Self_check_failed m)
+        | None -> ());
+  let report =
+    Obs.Span.with_span "flow.map" ~args:(if Obs.enabled () then graph_args "in" g else [])
+      (fun () ->
+        let r = Map.run lib g in
+        if Obs.enabled () then
+          Obs.Span.add_args [ ("area", Obs.Span.Float (Map.total r)) ];
+        r)
+  in
   { lowered; aig = g; report }

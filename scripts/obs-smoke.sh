@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Observability smoke: the same sweep with and without --trace/--metrics
+# must print byte-identical stdout, and the emitted Chrome trace must be
+# valid enough to carry pass spans and the metrics snapshot. Leaves
+# trace.json in the repo root for CI to upload as an artifact.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dune build bench/main.exe
+exe=./_build/default/bench/main.exe
+
+plain=$(mktemp) && traced=$(mktemp) && err=$(mktemp)
+trap 'rm -f "$plain" "$traced" "$err"' EXIT
+
+# --no-cache so the traced run actually executes the synthesis passes
+# rather than replaying engine cache hits.
+"$exe" quick -j 2 --no-cache > "$plain" 2>/dev/null
+"$exe" quick -j 2 --no-cache --trace trace.json --metrics > "$traced" 2> "$err"
+
+if ! diff -u "$plain" "$traced"; then
+  echo "error: stdout changed when observability was enabled" >&2
+  exit 1
+fi
+
+grep -q '"traceEvents"' trace.json
+grep -q '"flow.compile"' trace.json
+grep -q '"metrics"' trace.json
+grep -q 'engine\.pool\.jobs' "$err"
+grep -q 'synth\.flow\.' "$err"
+echo "observability smoke OK: stdout identical, trace.json valid"

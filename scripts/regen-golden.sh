@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerate the golden fixtures under test/golden/ (Verilog pretty-printer
+# and VCD writer outputs). Run after an intentional emitter change, then
+# review the diff like any other source change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p test/golden
+dune build test/test_io.exe
+GOLDEN_REGEN="$(pwd)/test/golden" ./_build/default/test/test_io.exe test golden
+echo "regenerated:"
+ls -1 test/golden | sed 's/^/  test\/golden\//'

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Determinism gate: two forced runs of the full test suite must produce
+# identical output after stripping the few legitimately run-varying
+# strings (wall-clock timings, Alcotest run IDs, QCheck seeds). Catches
+# both flaky tests and tests that leak run-dependent state into output.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+normalize() {
+  sed -E \
+    -e 's/[0-9]+\.[0-9]+s/<time>/g' \
+    -e "s/run has ID \`[A-Z0-9]+'/run has ID <id>/g" \
+    -e 's/qcheck random seed: [0-9]+/qcheck random seed: <seed>/g'
+}
+
+out1=$(mktemp) && out2=$(mktemp)
+trap 'rm -f "$out1" "$out2"' EXIT
+
+dune runtest --force 2>&1 | normalize > "$out1"
+dune runtest --force 2>&1 | normalize > "$out2"
+
+if ! diff -u "$out1" "$out2"; then
+  echo "error: dune runtest output differs between two forced runs" >&2
+  exit 1
+fi
+echo "runtest output stable across two forced runs"

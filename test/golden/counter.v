@@ -1,0 +1,12 @@
+module ctr (
+  input logic clk,
+  input logic rst,
+  input logic en,
+  output logic [2:0] count
+);
+  logic [2:0] q;
+  always_ff @(posedge clk)
+    if (rst) q <= 3'b000;
+    else if (en) q <= q + 3'b001;
+  assign count = q;
+endmodule

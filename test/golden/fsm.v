@@ -1,0 +1,16 @@
+module fsm_m2_n3_s5_11 (
+  input logic clk,
+  input logic rst,
+  input logic [1:0] in,
+  output logic [2:0] out
+);
+  // CONFIGURATION MEMORY fsm_m2_n3_s5_11_ns_mem: 32 x 3 bits (programmable; write port elided)
+  logic [2:0] fsm_m2_n3_s5_11_ns_mem [0:31];
+  // CONFIGURATION MEMORY fsm_m2_n3_s5_11_out_mem: 32 x 3 bits (programmable; write port elided)
+  logic [2:0] fsm_m2_n3_s5_11_out_mem [0:31];
+  logic [2:0] state;
+  always_ff @(posedge clk)
+    if (rst) state <= 3'b000;
+    else state <= fsm_m2_n3_s5_11_ns_mem[{state, in}];
+  assign out = fsm_m2_n3_s5_11_out_mem[{state, in}];
+endmodule

@@ -1,0 +1,132 @@
+(* Minimal property-testing harness: seeded generation, a fixed iteration
+   budget, and greedy shrinking. Unlike the QCheck tests elsewhere in this
+   suite, every case is a pure function of a printed integer seed, so any
+   failure reproduces in one command:
+
+     FUZZ_SEED=<seed> dune exec test/<binary>.exe
+
+   FUZZ_ITERS=<n> overrides every iteration budget (soak or quick runs);
+   FUZZ_SEED=<s> runs exactly one iteration on that seed. No dependencies
+   beyond Alcotest (reporting) and Workload.Rng (generation). *)
+
+type 'a t = {
+  gen : Workload.Rng.t -> 'a;
+  shrink : 'a -> 'a list;
+  show : 'a -> string;
+}
+
+let make ?(shrink = fun _ -> []) ~show gen = { gen; shrink; show }
+
+let fixed_seed = Option.bind (Sys.getenv_opt "FUZZ_SEED") int_of_string_opt
+
+let budget default =
+  match fixed_seed with
+  | Some _ -> 1
+  | None ->
+    (match Option.bind (Sys.getenv_opt "FUZZ_ITERS") int_of_string_opt with
+     | Some n when n > 0 -> n
+     | _ -> default)
+
+(* ------------------------------------------------------------ generators *)
+
+let int bound =
+  {
+    gen = (fun rng -> Workload.Rng.int rng bound);
+    (* Toward zero: 0 first (most interesting), then halving. *)
+    shrink =
+      (fun n ->
+        if n = 0 then []
+        else if n = 1 then [ 0 ]
+        else [ 0; n / 2; n - 1 ]);
+    show = string_of_int;
+  }
+
+let pair a b =
+  {
+    gen = (fun rng -> (a.gen rng, b.gen rng));
+    shrink =
+      (fun (x, y) ->
+        List.map (fun x' -> (x', y)) (a.shrink x)
+        @ List.map (fun y' -> (x, y')) (b.shrink y));
+    show = (fun (x, y) -> Printf.sprintf "(%s, %s)" (a.show x) (b.show y));
+  }
+
+let triple a b c =
+  {
+    gen = (fun rng -> (a.gen rng, b.gen rng, c.gen rng));
+    shrink =
+      (fun (x, y, z) ->
+        List.map (fun x' -> (x', y, z)) (a.shrink x)
+        @ List.map (fun y' -> (x, y', z)) (b.shrink y)
+        @ List.map (fun z' -> (x, y, z')) (c.shrink z));
+    show =
+      (fun (x, y, z) ->
+        Printf.sprintf "(%s, %s, %s)" (a.show x) (b.show y) (c.show z));
+  }
+
+let quad a b c d =
+  {
+    gen = (fun rng -> (a.gen rng, b.gen rng, c.gen rng, d.gen rng));
+    shrink =
+      (fun (x, y, z, w) ->
+        List.map (fun x' -> (x', y, z, w)) (a.shrink x)
+        @ List.map (fun y' -> (x, y', z, w)) (b.shrink y)
+        @ List.map (fun z' -> (x, y, z', w)) (c.shrink z)
+        @ List.map (fun w' -> (x, y, z, w')) (d.shrink w));
+    show =
+      (fun (x, y, z, w) ->
+        Printf.sprintf "(%s, %s, %s, %s)" (a.show x) (b.show y) (c.show z)
+          (d.show w));
+  }
+
+let map ~f ~show ?(shrink = fun _ -> []) inner =
+  {
+    gen = (fun rng -> f (inner.gen rng));
+    shrink;
+    show;
+  }
+
+(* ----------------------------------------------------------------- check *)
+
+let holds prop x = match prop x with b -> b | exception _ -> false
+
+let explain prop x =
+  match prop x with
+  | true -> "returned true after shrinking (flaky property?)"
+  | false -> "returned false"
+  | exception e -> "raised " ^ Printexc.to_string e
+
+(* Greedy descent: take the first failing shrink candidate, repeat.
+   Bounded so a cyclic shrinker cannot hang the suite. *)
+let minimize p prop x0 =
+  let rec go fuel x =
+    if fuel = 0 then x
+    else
+      match List.find_opt (fun y -> not (holds prop y)) (p.shrink x) with
+      | Some y -> go (fuel - 1) y
+      | None -> x
+  in
+  go 1000 x0
+
+let check ?(iters = 200) ?(seed = 0) ~name p prop =
+  let iters = budget iters in
+  for i = 0 to iters - 1 do
+    let case_seed =
+      match fixed_seed with Some s -> s | None -> seed + i
+    in
+    let x = p.gen (Workload.Rng.make case_seed) in
+    if not (holds prop x) then begin
+      let min_x = minimize p prop x in
+      Alcotest.failf
+        "%s falsified\n\
+        \  seed: %d (iteration %d/%d)\n\
+        \  counterexample: %s\n\
+        \  shrunk to: %s (%s)\n\
+        \  reproduce: FUZZ_SEED=%d dune exec <this test binary>"
+        name case_seed i iters (p.show x) (p.show min_x)
+        (explain prop min_x) case_seed
+    end
+  done
+
+let test ?iters ?seed name p prop =
+  Alcotest.test_case name `Quick (fun () -> check ?iters ?seed ~name p prop)

@@ -129,6 +129,59 @@ let props =
         Bdd.equal (Bdd.constrain b' c) (Bdd.constrain b'' c));
   ]
 
+(* Truth-table oracle (Prop harness, seeded). A 16-bit integer is the
+   complete truth table of a 4-variable function (bit [v] gives the value on
+   assignment [v]); boolean operations on BDDs must agree with bitwise
+   operations on tables, for every table. *)
+
+let tt_nvars = 4
+
+let tt_mask = 0xffff
+
+let bdd_of_tt m tt =
+  Bdd.of_fun m ~nvars:tt_nvars (fun v -> (tt lsr Bitvec.to_int v) land 1 = 1)
+
+let tt_of_bdd b =
+  Seq.fold_left
+    (fun acc v ->
+      if Bdd.eval b (Bitvec.get v) then acc lor (1 lsl Bitvec.to_int v) else acc)
+    0
+    (Bitvec.all_values tt_nvars)
+
+let arb_tt = Prop.int (tt_mask + 1)
+
+let tt_binop name op table_op =
+  Prop.test name (Prop.pair arb_tt arb_tt) (fun (x, y) ->
+      let m = Bdd.make_man () in
+      tt_of_bdd (op (bdd_of_tt m x) (bdd_of_tt m y)) = table_op x y land tt_mask)
+
+let tt_props =
+  [
+    Prop.test "of_fun/eval table roundtrip" arb_tt (fun tt ->
+        let m = Bdd.make_man () in
+        tt_of_bdd (bdd_of_tt m tt) = tt);
+    tt_binop "and matches table" Bdd.and_ ( land );
+    tt_binop "or matches table" Bdd.or_ ( lor );
+    tt_binop "xor matches table" Bdd.xor ( lxor );
+    tt_binop "imp matches table" Bdd.imp (fun x y -> lnot x lor y);
+    tt_binop "iff matches table" Bdd.iff (fun x y -> lnot (x lxor y));
+    Prop.test "not matches table" arb_tt (fun tt ->
+        let m = Bdd.make_man () in
+        tt_of_bdd (Bdd.not_ (bdd_of_tt m tt)) = lnot tt land tt_mask);
+    Prop.test "ite matches table" (Prop.triple arb_tt arb_tt arb_tt)
+      (fun (c, a, b) ->
+        let m = Bdd.make_man () in
+        tt_of_bdd (Bdd.ite (bdd_of_tt m c) (bdd_of_tt m a) (bdd_of_tt m b))
+        = (c land a) lor (lnot c land b) land tt_mask);
+    Prop.test "equal iff same table" (Prop.pair arb_tt arb_tt) (fun (x, y) ->
+        let m = Bdd.make_man () in
+        Bdd.equal (bdd_of_tt m x) (bdd_of_tt m y) = (x = y));
+    Prop.test "sat_count is table popcount" arb_tt (fun tt ->
+        let m = Bdd.make_man () in
+        let rec pop n = if n = 0 then 0 else (n land 1) + pop (n lsr 1) in
+        int_of_float (Bdd.sat_count (bdd_of_tt m tt) ~nvars:tt_nvars) = pop tt);
+  ]
+
 let test_basics () =
   let m = Bdd.make_man () in
   Alcotest.(check bool) "zero is zero" true (Bdd.is_zero (Bdd.zero m));
@@ -170,4 +223,5 @@ let () =
           Alcotest.test_case "manager isolation" `Quick test_manager_isolation;
         ] );
       ("properties", props);
+      ("truth tables", tt_props);
     ]

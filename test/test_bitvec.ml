@@ -112,6 +112,80 @@ let props =
           (Bitvec.add a (Bitvec.of_int ~width:(Bitvec.width a) 1)));
   ]
 
+(* Model-based properties (Prop harness, seeded: failures print a FUZZ_SEED
+   repro command). Widths stay ≤ 29 bits so plain OCaml integers are an
+   exact model of the unsigned modular semantics (and value generation
+   stays within Random's 2^30 bound). *)
+
+let mask w = (1 lsl w) - 1
+
+let show_model (w, a, b) = Printf.sprintf "w=%d a=%d b=%d" w a b
+
+let arb_model =
+  Prop.make ~show:show_model
+    ~shrink:(fun (w, a, b) ->
+      (if a > 0 then [ (w, 0, b); (w, a / 2, b) ] else [])
+      @ (if b > 0 then [ (w, a, 0); (w, a, b / 2) ] else [])
+      @ if w > 1 then [ (w - 1, a land mask (w - 1), b land mask (w - 1)) ]
+        else [])
+    (fun rng ->
+      let w = 1 + Workload.Rng.int rng 29 in
+      (w, Workload.Rng.int rng (1 lsl w), Workload.Rng.int rng (1 lsl w)))
+
+(* (width, value, hi, lo) with 0 <= lo <= hi < width. *)
+let arb_slice =
+  Prop.make
+    ~show:(fun (w, v, hi, lo) ->
+      Printf.sprintf "w=%d v=%d hi=%d lo=%d" w v hi lo)
+    (fun rng ->
+      let w = 1 + Workload.Rng.int rng 29 in
+      let v = Workload.Rng.int rng (1 lsl w) in
+      let lo = Workload.Rng.int rng w in
+      let hi = lo + Workload.Rng.int rng (w - lo) in
+      (w, v, hi, lo))
+
+let rec int_popcount n = if n = 0 then 0 else (n land 1) + int_popcount (n lsr 1)
+
+let binop_model name op model =
+  Prop.test name arb_model (fun (w, a, b) ->
+      Bitvec.to_int (op (Bitvec.of_int ~width:w a) (Bitvec.of_int ~width:w b))
+      = model a b land mask w)
+
+let model_props =
+  [
+    binop_model "add matches int model" Bitvec.add ( + );
+    binop_model "sub matches int model" Bitvec.sub (fun a b ->
+        a - b + (1 lsl 30));
+    binop_model "logand matches int model" Bitvec.logand ( land );
+    binop_model "logor matches int model" Bitvec.logor ( lor );
+    binop_model "logxor matches int model" Bitvec.logxor ( lxor );
+    Prop.test "lognot matches int model" arb_model (fun (w, a, _) ->
+        Bitvec.to_int (Bitvec.lognot (Bitvec.of_int ~width:w a))
+        = lnot a land mask w);
+    Prop.test "ult matches int order" arb_model (fun (w, a, b) ->
+        Bitvec.ult (Bitvec.of_int ~width:w a) (Bitvec.of_int ~width:w b)
+        = (a < b));
+    Prop.test "popcount matches int model" arb_model (fun (w, a, _) ->
+        Bitvec.popcount (Bitvec.of_int ~width:w a) = int_popcount a);
+    Prop.test "shifts match int model" arb_model (fun (w, a, b) ->
+        let s = b mod w in
+        let v = Bitvec.of_int ~width:w a in
+        Bitvec.to_int (Bitvec.shift_left v s) = (a lsl s) land mask w
+        && Bitvec.to_int (Bitvec.shift_right v s) = a lsr s);
+    Prop.test "concat matches int model" arb_model (fun (w, a, b) ->
+        let c =
+          Bitvec.concat [ Bitvec.of_int ~width:w a; Bitvec.of_int ~width:w b ]
+        in
+        Bitvec.width c = 2 * w && Bitvec.to_int c = (a lsl w) lor b);
+    Prop.test "slice matches int model" arb_slice (fun (w, v, hi, lo) ->
+        Bitvec.to_int (Bitvec.slice (Bitvec.of_int ~width:w v) ~hi ~lo)
+        = (v lsr lo) land mask (hi - lo + 1));
+    Prop.test "resize matches int model" arb_model (fun (w, a, b) ->
+        let w' = 1 + (b mod 30) in
+        Bitvec.to_int (Bitvec.resize (Bitvec.of_int ~width:w a) w')
+        = a land mask w');
+  ]
+
 let () =
   Alcotest.run "bitvec"
     [
@@ -125,4 +199,5 @@ let () =
           Alcotest.test_case "all_values" `Quick test_all_values;
         ] );
       ("properties", props);
+      ("integer model", model_props);
     ]

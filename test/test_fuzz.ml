@@ -1,15 +1,50 @@
 (* Flow fuzzing: every pass must preserve the sequential behaviour of every
-   randomly generated design. A failure here prints the seed; reproduce with
-   [Workload.Rand_design.generate ~seed]. *)
+   randomly generated design. A failure prints a one-command repro line.
+
+   Environment knobs:
+     FUZZ_ITERS=<n>  override every property's iteration count (soak runs
+                     or quick smokes); defaults below are unchanged.
+     FUZZ_SEED=<s>   run each property exactly once on that seed. *)
 
 let lib = Cells.Library.vt90
 
+let fuzz_iters = Option.bind (Sys.getenv_opt "FUZZ_ITERS") int_of_string_opt
+
+let fuzz_seed = Option.bind (Sys.getenv_opt "FUZZ_SEED") int_of_string_opt
+
 let arb_seed =
-  QCheck.make ~print:(fun s -> Printf.sprintf "seed=%d" s)
-    QCheck.Gen.(0 -- 5000)
+  let gen =
+    match fuzz_seed with
+    | Some s -> QCheck.Gen.return s
+    | None -> QCheck.Gen.(0 -- 5000)
+  in
+  QCheck.make ~print:(Printf.sprintf "seed=%d") gen
 
 let prop ?(count = 150) name f =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb_seed f)
+  let count =
+    match (fuzz_seed, fuzz_iters) with
+    | Some _, _ -> 1
+    | None, Some n when n > 0 -> n
+    | None, _ -> count
+  in
+  let repro seed =
+    Printf.eprintf
+      "property %S failed on seed %d\n\
+      \  reproduce: FUZZ_SEED=%d dune exec test/test_fuzz.exe\n\
+       %!"
+      name seed seed
+  in
+  let wrapped seed =
+    let ok =
+      try f seed
+      with e ->
+        repro seed;
+        raise e
+    in
+    if not ok then repro seed;
+    ok
+  in
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb_seed wrapped)
 
 let no_mismatch = function
   | None -> true

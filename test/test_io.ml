@@ -51,6 +51,75 @@ let test_vcd_unknown_signal () =
   | _ -> Alcotest.fail "unknown signal accepted"
   | exception Invalid_argument _ -> ()
 
+(* --------------------------------------------------------------- golden *)
+
+(* Byte-exact fixtures for the text emitters (Verilog pretty-printer and
+   VCD writer). Tests run with cwd [_build/default/test], where dune copies
+   [golden/*] (declared as deps in test/dune). Setting GOLDEN_REGEN to the
+   absolute path of the source golden directory rewrites the fixtures
+   instead of diffing — [scripts/regen-golden.sh] does exactly that. *)
+
+let regen_dir = Sys.getenv_opt "GOLDEN_REGEN"
+
+let first_diff_line expected actual =
+  let e = String.split_on_char '\n' expected
+  and a = String.split_on_char '\n' actual in
+  let rec go n = function
+    | e :: es, a :: as_ when String.equal e a -> go (n + 1) (es, as_)
+    | e :: _, a :: _ -> Printf.sprintf "line %d:\n  golden: %s\n  actual: %s" n e a
+    | e :: _, [] -> Printf.sprintf "line %d:\n  golden: %s\n  actual: <eof>" n e
+    | [], a :: _ -> Printf.sprintf "line %d:\n  golden: <eof>\n  actual: %s" n a
+    | [], [] -> "identical?"
+  in
+  go 1 (e, a)
+
+let check_golden name actual =
+  match regen_dir with
+  | Some dir ->
+    Out_channel.with_open_text (Filename.concat dir name) (fun oc ->
+        output_string oc actual)
+  | None ->
+    let path = Filename.concat "golden" name in
+    let expected =
+      try In_channel.with_open_text path In_channel.input_all
+      with Sys_error _ ->
+        Alcotest.failf
+          "missing golden file test/%s — generate it with: bash scripts/regen-golden.sh"
+          path
+    in
+    if not (String.equal expected actual) then begin
+      Out_channel.with_open_text (name ^ ".actual") (fun oc ->
+          output_string oc actual);
+      Alcotest.failf
+        "golden mismatch for test/%s (first difference at %s)\n\
+        \  actual output kept in _build/default/test/%s.actual\n\
+        \  if the change is intended: bash scripts/regen-golden.sh" path
+        (first_diff_line expected actual)
+        name
+    end
+
+let golden_fsm () =
+  let fsm =
+    Workload.Rand_fsm.generate ~seed:11 ~num_inputs:2 ~num_outputs:3
+      ~num_states:5
+  in
+  Core.Fsm_ir.to_flexible_rtl fsm
+
+let test_golden_verilog_counter () =
+  check_golden "counter.v" (Rtl.Verilog.emit (counter ()))
+
+let test_golden_verilog_fsm () =
+  check_golden "fsm.v" (Rtl.Verilog.emit (golden_fsm ()))
+
+let test_golden_vcd_counter () =
+  let stim =
+    List.map
+      (fun en -> [ ("en", Bitvec.of_int ~width:1 en) ])
+      [ 1; 1; 0; 1; 0; 1 ]
+  in
+  let vcd = Rtl.Vcd.of_run (counter ()) ~stimulus:stim ~watch:[ "en"; "q" ] in
+  check_golden "counter.vcd" vcd
+
 (* ---------------------------------------------------------------- aiger *)
 
 let roundtrip_equivalent g =
@@ -160,6 +229,12 @@ let () =
           Alcotest.test_case "structure" `Quick test_vcd_structure;
           Alcotest.test_case "change-only encoding" `Quick test_vcd_change_only;
           Alcotest.test_case "unknown signal" `Quick test_vcd_unknown_signal;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "verilog counter" `Quick test_golden_verilog_counter;
+          Alcotest.test_case "verilog fsm" `Quick test_golden_verilog_fsm;
+          Alcotest.test_case "vcd counter" `Quick test_golden_vcd_counter;
         ] );
       ( "aiger",
         [

@@ -1,0 +1,317 @@
+(* Observability layer: span/metric semantics, the JSON parser they are
+   validated through, and the headline contract — turning tracing and
+   metrics on must not change a single byte of experiment stdout. *)
+
+let with_obs f =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    f
+
+(* ----------------------------------------------------------------- json *)
+
+let rec json_equal a b =
+  let open Report.Json in
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | String x, String y -> String.equal x y
+  | List x, List y ->
+    List.length x = List.length y && List.for_all2 json_equal x y
+  | Obj x, Obj y ->
+    List.length x = List.length y
+    && List.for_all2
+         (fun (k, v) (k', v') -> String.equal k k' && json_equal v v')
+         x y
+  | _ -> false
+
+let test_json_roundtrip () =
+  let open Report.Json in
+  let doc =
+    Obj
+      [
+        ("null", Null);
+        ("bools", List [ Bool true; Bool false ]);
+        ("ints", List [ Int 0; Int 42; Int (-7); Int max_int ]);
+        ("floats", List [ Float 1.5; Float (-0.25); Float 3.14159 ]);
+        ("strings", List [ String ""; String "a\"b\\c\n\t"; String "µs/π" ]);
+        ("nested", Obj [ ("empty_list", List []); ("empty_obj", Obj []) ]);
+      ]
+  in
+  match of_string (to_string doc) with
+  | Ok doc' -> Alcotest.(check bool) "roundtrip" true (json_equal doc doc')
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_json_forms () =
+  let open Report.Json in
+  let ok s expect =
+    match of_string s with
+    | Ok v -> Alcotest.(check bool) ("parse " ^ s) true (json_equal expect v)
+    | Error e -> Alcotest.failf "rejected %s: %s" s e
+  in
+  ok {| { "a" : [ 1 , 2.5 , null , true , "x\u0041" ] } |}
+    (Obj [ ("a", List [ Int 1; Float 2.5; Null; Bool true; String "xA" ]) ]);
+  ok "-12" (Int (-12));
+  ok "1e3" (Float 1000.);
+  ok "\"\\u00b5s\"" (String "µs")
+
+let test_json_errors () =
+  let bad s =
+    match Report.Json.of_string s with
+    | Ok _ -> Alcotest.failf "accepted %S" s
+    | Error e ->
+      Alcotest.(check bool) ("position in error for " ^ s) true
+        (String.length e > 0)
+  in
+  List.iter bad
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "12 34"; "\"unterminated"; "'x'";
+      "{\"a\" 1}"; "[1 2]"; "nan" ]
+
+(* ---------------------------------------------------------------- spans *)
+
+let test_span_nesting () =
+  with_obs @@ fun () ->
+  Obs.Span.with_span "outer" (fun () ->
+      Obs.Span.with_span "inner" (fun () -> ());
+      Obs.Span.with_span "inner2" (fun () -> ()));
+  let spans = Obs.Span.completed () in
+  let find name = List.find (fun s -> s.Obs.Span.name = name) spans in
+  Alcotest.(check int) "three spans" 3 (List.length spans);
+  let outer = find "outer" and inner = find "inner" and inner2 = find "inner2" in
+  Alcotest.(check int) "outer depth" 0 outer.Obs.Span.depth;
+  Alcotest.(check int) "inner depth" 1 inner.Obs.Span.depth;
+  Alcotest.(check int) "inner2 depth" 1 inner2.Obs.Span.depth;
+  (* Children close before the parent, and lie inside its interval. *)
+  let ends (s : Obs.Span.finished) = s.start_us +. s.dur_us in
+  Alcotest.(check bool) "inner within outer" true
+    (inner.Obs.Span.start_us >= outer.Obs.Span.start_us
+     && ends inner <= ends outer +. 1e-6);
+  Alcotest.(check bool) "completion order" true
+    (ends inner <= ends inner2 +. 1e-6);
+  List.iter
+    (fun (s : Obs.Span.finished) ->
+      Alcotest.(check bool) (s.name ^ " dur >= 0") true (s.dur_us >= 0.))
+    spans
+
+let test_span_args () =
+  with_obs @@ fun () ->
+  Obs.Span.with_span ~args:[ ("k", Obs.Span.Int 1) ] "s" (fun () ->
+      Obs.Span.add_args [ ("late", Obs.Span.Bool true) ]);
+  match Obs.Span.completed () with
+  | [ s ] ->
+    Alcotest.(check bool) "initial arg" true
+      (List.mem_assoc "k" s.Obs.Span.args);
+    Alcotest.(check bool) "late arg" true
+      (List.mem_assoc "late" s.Obs.Span.args);
+    (* Initial args come before late ones. *)
+    Alcotest.(check string) "order" "k" (fst (List.hd s.Obs.Span.args))
+  | spans -> Alcotest.failf "expected one span, got %d" (List.length spans)
+
+let test_span_on_raise () =
+  with_obs @@ fun () ->
+  (try Obs.Span.with_span "failing" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "span recorded despite raise" 1
+    (List.length (Obs.Span.completed ()))
+
+let test_disabled_noop () =
+  Obs.reset ();
+  Obs.set_enabled false;
+  let ran = ref false in
+  Obs.Span.with_span "ghost" (fun () -> ran := true);
+  Alcotest.(check bool) "thunk ran" true !ran;
+  Alcotest.(check int) "no span" 0 (List.length (Obs.Span.completed ()));
+  let c = Obs.Metrics.counter "test.disabled.counter" in
+  Obs.Metrics.incr c;
+  Alcotest.(check int) "counter untouched" 0 (Obs.Metrics.counter_value c)
+
+(* -------------------------------------------------------------- metrics *)
+
+let test_metric_kinds () =
+  with_obs @@ fun () ->
+  let c = Obs.Metrics.counter "test.kinds.counter" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.incr ~by:4 c;
+  Alcotest.(check int) "counter" 5 (Obs.Metrics.counter_value c);
+  let g = Obs.Metrics.gauge "test.kinds.gauge" in
+  Obs.Metrics.set g 2.0;
+  Obs.Metrics.set_max g 1.0;
+  Obs.Metrics.set_max g 7.5;
+  let h = Obs.Metrics.histogram "test.kinds.hist_s" in
+  List.iter (Obs.Metrics.observe h) [ 3.0; 1.0; 2.0 ];
+  let snap = Obs.Metrics.snapshot () in
+  (match List.assoc "test.kinds.gauge" snap with
+   | Obs.Metrics.Gauge_v v -> Alcotest.(check (float 1e-9)) "high-water" 7.5 v
+   | _ -> Alcotest.fail "gauge kind");
+  (match List.assoc "test.kinds.hist_s" snap with
+   | Obs.Metrics.Hist_v { count; sum; min_v; max_v } ->
+     Alcotest.(check int) "hist count" 3 count;
+     Alcotest.(check (float 1e-9)) "hist sum" 6.0 sum;
+     Alcotest.(check (float 1e-9)) "hist min" 1.0 min_v;
+     Alcotest.(check (float 1e-9)) "hist max" 3.0 max_v
+   | _ -> Alcotest.fail "hist kind");
+  (* Same name, different kind: rejected. *)
+  (match Obs.Metrics.gauge "test.kinds.counter" with
+   | _ -> Alcotest.fail "kind mismatch accepted"
+   | exception Invalid_argument _ -> ());
+  (* Reset zeroes in place; existing handles keep working. *)
+  Obs.Metrics.reset ();
+  Alcotest.(check int) "reset counter" 0 (Obs.Metrics.counter_value c);
+  Obs.Metrics.incr c;
+  Alcotest.(check int) "handle survives reset" 1 (Obs.Metrics.counter_value c)
+
+(* ---------------------------------------------------------- flow spans *)
+
+let test_flow_spans () =
+  with_obs @@ fun () ->
+  let d = Workload.Rand_design.generate ~seed:5 in
+  ignore (Synth.Flow.compile Cells.Library.vt90 d);
+  let spans = Obs.Span.completed () in
+  let named n = List.filter (fun s -> s.Obs.Span.name = n) spans in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " present") true (named n <> []))
+    [ "flow.compile"; "flow.lower"; "flow.sweep"; "flow.collapse"; "flow.map" ];
+  Alcotest.(check int) "three sweep iterations" 3 (List.length (named "flow.sweep"));
+  let compile = List.hd (named "flow.compile") in
+  Alcotest.(check bool) "compile has design arg" true
+    (List.mem_assoc "design" compile.Obs.Span.args);
+  let ends (s : Obs.Span.finished) = s.start_us +. s.dur_us in
+  List.iter
+    (fun (s : Obs.Span.finished) ->
+      Alcotest.(check bool) (s.name ^ " dur >= 0") true (s.dur_us >= 0.);
+      if s.name <> "flow.compile" && s.tid = compile.Obs.Span.tid then begin
+        Alcotest.(check bool) (s.name ^ " nested in compile") true
+          (s.depth > compile.Obs.Span.depth
+           && s.start_us >= compile.Obs.Span.start_us -. 1e-6
+           && ends s <= ends compile +. 1e-6)
+      end)
+    spans;
+  (* Pass spans carry before/after graph statistics. *)
+  let sweep = List.hd (named "flow.sweep") in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) ("sweep arg " ^ k) true
+        (List.mem_assoc k sweep.Obs.Span.args))
+    [ "iter"; "in_ands"; "out_ands"; "delta_ands"; "in_level"; "out_level" ];
+  (* Metrics populated alongside the spans. *)
+  let snap = Obs.Metrics.snapshot () in
+  Alcotest.(check bool) "compile counter" true
+    (match List.assoc_opt "synth.flow.compiles" snap with
+     | Some (Obs.Metrics.Counter_v n) -> n >= 1
+     | _ -> false)
+
+(* ---------------------------------------------------- fig5 determinism *)
+
+let capture_fig5 () =
+  let buf = Buffer.create 4096 in
+  let fmt = Format.formatter_of_buffer buf in
+  let saved = !Experiments.Exp_common.out in
+  Experiments.Exp_common.out := fmt;
+  Fun.protect ~finally:(fun () -> Experiments.Exp_common.out := saved)
+    (fun () ->
+      let rows =
+        Experiments.Fig5.run ~seeds:[ 0 ] ~grid:[ (8, 4); (16, 4); (32, 4) ] ()
+      in
+      Experiments.Fig5.print rows;
+      Format.pp_print_flush fmt ();
+      Buffer.contents buf)
+
+let json_mem k = function
+  | Report.Json.Obj fields -> List.mem_assoc k fields
+  | _ -> false
+
+let json_field k = function
+  | Report.Json.Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let test_fig5_determinism () =
+  (* Traced run first: the process-wide engine caches compile results, so a
+     second identical sweep would skip Synth.Flow and record no pass spans. *)
+  let observed, trace_path =
+    with_obs @@ fun () ->
+    let out = capture_fig5 () in
+    let path = Filename.temp_file "obs_fig5" ".json" in
+    Obs.Trace.write path;
+    (out, path)
+  in
+  (* Same sweep with observability off (cache-served, same bytes). *)
+  let plain = capture_fig5 () in
+  Alcotest.(check string) "stdout byte-identical with observability on" plain
+    observed;
+  let text = In_channel.with_open_text trace_path In_channel.input_all in
+  Sys.remove trace_path;
+  let doc =
+    match Report.Json.of_string text with
+    | Ok doc -> doc
+    | Error e -> Alcotest.failf "trace is not valid JSON: %s" e
+  in
+  let events =
+    match json_field "traceEvents" doc with
+    | Some (Report.Json.List evs) -> evs
+    | _ -> Alcotest.fail "traceEvents missing"
+  in
+  Alcotest.(check bool) "events present" true (events <> []);
+  let names =
+    List.filter_map
+      (fun e ->
+        match json_field "name" e with
+        | Some (Report.Json.String n) -> Some n
+        | _ -> None)
+    events
+  in
+  Alcotest.(check bool) "flow.compile span in trace" true
+    (List.mem "flow.compile" names);
+  Alcotest.(check bool) "flow pass spans in trace" true
+    (List.mem "flow.sweep" names && List.mem "flow.collapse" names);
+  List.iter
+    (fun e ->
+      match json_field "dur" e with
+      | Some (Report.Json.Float d) ->
+        Alcotest.(check bool) "dur >= 0" true (d >= 0.)
+      | Some (Report.Json.Int d) ->
+        Alcotest.(check bool) "dur >= 0" true (d >= 0)
+      | _ -> Alcotest.fail "event without dur")
+    events;
+  (* The folded-in metrics snapshot carries engine activity. *)
+  let metrics =
+    match json_field "metrics" doc with
+    | Some m -> m
+    | None -> Alcotest.fail "metrics missing from trace"
+  in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " in trace metrics") true (json_mem k metrics))
+    [
+      "engine.pool.jobs"; "engine.cache.misses"; "engine.cache.stores";
+      "synth.flow.compiles"; "synth.flow.sweep.ands_removed";
+    ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "forms" `Quick test_json_forms;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "args" `Quick test_span_args;
+          Alcotest.test_case "recorded on raise" `Quick test_span_on_raise;
+          Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+        ] );
+      ("metrics", [ Alcotest.test_case "kinds" `Quick test_metric_kinds ]);
+      ("flow", [ Alcotest.test_case "pass spans" `Quick test_flow_spans ]);
+      ( "determinism",
+        [
+          Alcotest.test_case "fig5 stdout identical under tracing" `Quick
+            test_fig5_determinism;
+        ] );
+    ]
