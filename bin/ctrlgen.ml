@@ -387,7 +387,7 @@ let design_cmd =
 
 let fault_cmd =
   let run eng impl mode model seed sites cycles journal_path resume_path
-      crash_after vcd_path =
+      crash_after vcd_path scalar_sim =
     let impl =
       match impl with
       | `Flexible -> Experiments.Fault_cmp.Flexible
@@ -426,8 +426,8 @@ let fault_cmd =
     in
     let report =
       Fault.Campaign.run ~jobs:eng.sim_jobs ?timeout_s:eng.timeout_s
-        ~retries:eng.retries ?journal ~resume ?on_checkpoint ?aig ~seed ~sites
-        ~model spec
+        ~retries:eng.retries ?journal ~resume ?on_checkpoint ?aig
+        ~packed:(not scalar_sim) ~seed ~sites ~model spec
     in
     Option.iter Engine.Journal.close journal;
     Fault.Campaign.print stdout report;
@@ -514,12 +514,19 @@ let fault_cmd =
              ~doc:"Write the faulty trace of the first mismatching RTL site \
                    to $(docv) as VCD.")
   in
+  let scalar_sim_arg =
+    Arg.(value & flag
+         & info [ "scalar-sim" ]
+             ~doc:"Classify stuck-at sites one per simulation pass instead \
+                   of bit-parallel (debugging aid; the report is \
+                   byte-identical either way, just slower).")
+  in
   Cmd.v
     (Cmd.info "fault"
        ~doc:"Run a fault-injection campaign on the PCtrl case study.")
     Term.(const run $ engine_term $ impl_arg $ mode_arg $ model_arg $ seed_arg
           $ sites_arg $ cycles_arg $ journal_arg $ resume_arg
-          $ crash_after_arg $ vcd_arg)
+          $ crash_after_arg $ vcd_arg $ scalar_sim_arg)
 
 (* ------------------------------------------------------------- experiment *)
 

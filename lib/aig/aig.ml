@@ -1,270 +1,6 @@
-type lit = int
+(* The library's face: the graph API at the top level (so existing
+   [Aig.and_]/[Aig.pis] call sites are untouched) plus the compiled
+   bit-parallel simulation kernel as [Aig.Compiled]. *)
 
-type kind = Const | Pi | Latch | And
-
-type latch_record = {
-  lname : string;
-  init : bool;
-  reset : Rtl.Design.reset_kind;
-  is_config : bool;
-  mutable next : lit option;
-}
-
-type t = {
-  mutable kinds : kind array;
-  mutable fan0 : lit array;
-  mutable fan1 : lit array;
-  mutable names : string array;  (* PI names; "" otherwise *)
-  mutable latch_recs : latch_record option array;
-  mutable n : int;
-  strash : (int * int, int) Hashtbl.t;
-  mutable pi_list : int list;      (* reversed *)
-  mutable latch_list : int list;   (* reversed *)
-  mutable po_list : (string * lit) list;  (* reversed *)
-  by_pi_name : (string, int) Hashtbl.t;
-  by_latch_name : (string, int) Hashtbl.t;
-}
-
-let false_ : lit = 0
-let true_ : lit = 1
-let not_ l = l lxor 1
-let is_complemented l = l land 1 = 1
-let node_of_lit l = l lsr 1
-let lit_of_node n c = (n lsl 1) lor (if c then 1 else 0)
-let lit_of_int i = i
-
-let create () =
-  let cap = 64 in
-  {
-    kinds = Array.make cap Const;
-    fan0 = Array.make cap 0;
-    fan1 = Array.make cap 0;
-    names = Array.make cap "";
-    latch_recs = Array.make cap None;
-    n = 1;  (* node 0 is the constant *)
-    strash = Hashtbl.create 1024;
-    pi_list = [];
-    latch_list = [];
-    po_list = [];
-    by_pi_name = Hashtbl.create 64;
-    by_latch_name = Hashtbl.create 64;
-  }
-
-let grow t =
-  let cap = Array.length t.kinds in
-  if t.n >= cap then begin
-    let cap' = cap * 2 in
-    let extend a fill = Array.append a (Array.make cap fill) in
-    t.kinds <- extend t.kinds Const;
-    t.fan0 <- extend t.fan0 0;
-    t.fan1 <- extend t.fan1 0;
-    t.names <- extend t.names "";
-    t.latch_recs <- extend t.latch_recs None;
-    ignore cap'
-  end
-
-let new_node t k =
-  grow t;
-  let id = t.n in
-  t.kinds.(id) <- k;
-  t.n <- t.n + 1;
-  id
-
-let pi t name =
-  let id = new_node t Pi in
-  t.names.(id) <- name;
-  t.pi_list <- id :: t.pi_list;
-  if Hashtbl.mem t.by_pi_name name then
-    invalid_arg ("Aig.pi: duplicate input name " ^ name);
-  Hashtbl.add t.by_pi_name name id;
-  lit_of_node id false
-
-let latch t name ~init ~reset ~is_config =
-  let id = new_node t Latch in
-  t.latch_recs.(id) <-
-    Some { lname = name; init; reset; is_config; next = None };
-  t.latch_list <- id :: t.latch_list;
-  if Hashtbl.mem t.by_latch_name name then
-    invalid_arg ("Aig.latch: duplicate latch name " ^ name);
-  Hashtbl.add t.by_latch_name name id;
-  lit_of_node id false
-
-let set_next t q d =
-  if is_complemented q then invalid_arg "Aig.set_next: complemented latch literal";
-  let id = node_of_lit q in
-  match t.latch_recs.(id) with
-  | None -> invalid_arg "Aig.set_next: not a latch"
-  | Some r -> r.next <- Some d
-
-let and_ t a b =
-  let a, b = if a <= b then (a, b) else (b, a) in
-  if a = false_ then false_
-  else if a = true_ then b
-  else if a = b then a
-  else if a = not_ b then false_
-  else begin
-    match Hashtbl.find_opt t.strash (a, b) with
-    | Some id -> lit_of_node id false
-    | None ->
-      let id = new_node t And in
-      t.fan0.(id) <- a;
-      t.fan1.(id) <- b;
-      Hashtbl.add t.strash (a, b) id;
-      lit_of_node id false
-  end
-
-let or_ t a b = not_ (and_ t (not_ a) (not_ b))
-
-let xor_ t a b =
-  (* a ^ b = ~(~(a & ~b) & ~(~a & b)) *)
-  or_ t (and_ t a (not_ b)) (and_ t (not_ a) b)
-
-let mux_ t sel a b = or_ t (and_ t sel a) (and_ t (not_ sel) b)
-
-let and_list t ls =
-  (* Balanced reduction keeps levels logarithmic. *)
-  let rec reduce = function
-    | [] -> true_
-    | [ x ] -> x
-    | xs ->
-      let rec pair = function
-        | [] -> []
-        | [ x ] -> [ x ]
-        | x :: y :: rest -> and_ t x y :: pair rest
-      in
-      reduce (pair xs)
-  in
-  reduce ls
-
-let or_list t ls = not_ (and_list t (List.map not_ ls))
-
-let po t name l = t.po_list <- (name, l) :: t.po_list
-
-let kind t id =
-  if id < 0 || id >= t.n then invalid_arg "Aig.kind: bad node";
-  t.kinds.(id)
-
-let num_nodes t = t.n
-let num_ands t =
-  let c = ref 0 in
-  for i = 0 to t.n - 1 do
-    if t.kinds.(i) = And then incr c
-  done;
-  !c
-
-let num_latches t = List.length t.latch_list
-
-let fanins t id =
-  if kind t id <> And then invalid_arg "Aig.fanins: not an And node";
-  (t.fan0.(id), t.fan1.(id))
-
-let pi_name t id =
-  if kind t id <> Pi then invalid_arg "Aig.pi_name: not a PI";
-  t.names.(id)
-
-let latch_record t id =
-  match t.latch_recs.(id) with
-  | Some r -> r
-  | None -> invalid_arg "Aig: not a latch"
-
-let latch_info t id =
-  let r = latch_record t id in
-  (r.lname, r.init, r.reset, r.is_config)
-
-let latch_next t id =
-  match (latch_record t id).next with
-  | Some d -> d
-  | None -> invalid_arg "Aig.latch_next: next-state never set"
-
-let pis t = List.rev t.pi_list
-let latches t = List.rev t.latch_list
-let pos t = List.rev t.po_list
-
-let find_pi t name = Hashtbl.find_opt t.by_pi_name name
-let find_latch t name = Hashtbl.find_opt t.by_latch_name name
-
-let eval_all t ~pi ~latch =
-  let values = Array.make t.n false in
-  for id = 1 to t.n - 1 do
-    match t.kinds.(id) with
-    | Const -> ()
-    | Pi -> values.(id) <- pi id
-    | Latch -> values.(id) <- latch id
-    | And ->
-      let v l =
-        let x = values.(node_of_lit l) in
-        if is_complemented l then not x else x
-      in
-      values.(id) <- v t.fan0.(id) && v t.fan1.(id)
-  done;
-  fun l ->
-    let x = values.(node_of_lit l) in
-    if is_complemented l then not x else x
-
-let eval t ~pi ~latch l = eval_all t ~pi ~latch l
-
-let cone t roots =
-  let visited = Hashtbl.create 64 in
-  let leaves = ref [] in
-  let internal = ref [] in
-  let rec visit id =
-    if not (Hashtbl.mem visited id) then begin
-      Hashtbl.add visited id ();
-      match t.kinds.(id) with
-      | Const -> ()
-      | Pi | Latch -> leaves := id :: !leaves
-      | And ->
-        visit (node_of_lit t.fan0.(id));
-        visit (node_of_lit t.fan1.(id));
-        internal := id :: !internal
-    end
-  in
-  List.iter (fun l -> visit (node_of_lit l)) roots;
-  (List.rev !leaves, List.rev !internal)
-
-let levels t =
-  let lv = Array.make t.n 0 in
-  for id = 1 to t.n - 1 do
-    match t.kinds.(id) with
-    | Const | Pi | Latch -> lv.(id) <- 0
-    | And ->
-      lv.(id) <-
-        1 + max lv.(node_of_lit t.fan0.(id)) lv.(node_of_lit t.fan1.(id))
-  done;
-  fun id -> lv.(id)
-
-let fanout_counts t =
-  let fo = Array.make t.n 0 in
-  let bump l = fo.(node_of_lit l) <- fo.(node_of_lit l) + 1 in
-  for id = 1 to t.n - 1 do
-    if t.kinds.(id) = And then begin
-      bump t.fan0.(id);
-      bump t.fan1.(id)
-    end
-  done;
-  List.iter (fun id ->
-      match (latch_record t id).next with
-      | Some d -> bump d
-      | None -> ())
-    (latches t);
-  List.iter (fun (_, l) -> bump l) (pos t);
-  fo
-
-let stats t =
-  let lv = levels t in
-  let depth =
-    List.fold_left
-      (fun acc (_, l) -> max acc (lv (node_of_lit l)))
-      0 (pos t)
-  in
-  let depth =
-    List.fold_left
-      (fun acc id ->
-        match (latch_record t id).next with
-        | Some d -> max acc (lv (node_of_lit d))
-        | None -> acc)
-      depth (latches t)
-  in
-  Printf.sprintf "aig: %d PIs, %d latches, %d ANDs, %d POs, depth %d"
-    (List.length t.pi_list) (num_latches t) (num_ands t)
-    (List.length t.po_list) depth
+include Graph
+module Compiled = Compiled

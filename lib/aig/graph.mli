@@ -65,7 +65,12 @@ type kind = Const | Pi | Latch | And
 val kind : t -> int -> kind
 val num_nodes : t -> int
 val num_ands : t -> int
+val num_pis : t -> int
+val num_pos : t -> int
 val num_latches : t -> int
+(** Counts are tracked incrementally (O(1)); {!pis}/{!latches}/{!pos}
+    below are memoized forward views — all safe inside per-cycle loops. *)
+
 val fanins : t -> int -> lit * lit
 (** @raise Invalid_argument unless the node is an [And]. *)
 

@@ -33,15 +33,34 @@ let spec_of ?(cycles = default_cycles) ?(mode = Pctrl.Controller.Cached) impl =
   Fault.Sim.spec ~config ~done_signal:"resp" ~stimulus:(stimulus ~cycles)
     ~watch design
 
-let models = [ Fault.Campaign.Control; Fault.Campaign.Tables; Fault.Campaign.Regs ]
+let models =
+  [ Fault.Campaign.Control; Fault.Campaign.Tables; Fault.Campaign.Regs;
+    Fault.Campaign.Stuck ]
 
 let run ?(seed = 0) ?(sites = 48) ?(cycles = default_cycles) ?(jobs = 1)
     ?timeout_s () =
   let campaigns impl =
     let spec = spec_of ~cycles impl in
+    (* The stuck-at population lives on the synthesized netlist; the
+       compile is deferred so the RTL-only models never pay for it. *)
+    let aig =
+      lazy
+        (let result =
+           Synth.Flow.compile Exp_common.lib spec.Fault.Sim.design
+         in
+         { Fault.Sim.aig = result.Synth.Flow.aig; cycles; seed })
+    in
     List.map
       (fun model ->
-        { impl; model; report = Fault.Campaign.run ~jobs ?timeout_s ~seed ~sites ~model spec })
+        let aig =
+          match model with
+          | Fault.Campaign.Stuck | Fault.Campaign.All -> Some (Lazy.force aig)
+          | Fault.Campaign.Control | Fault.Campaign.Tables
+          | Fault.Campaign.Regs -> None
+        in
+        { impl; model;
+          report =
+            Fault.Campaign.run ~jobs ?timeout_s ?aig ~seed ~sites ~model spec })
       models
   in
   campaigns Flexible @ campaigns Bound

@@ -10,7 +10,10 @@
 
     Both implementations run the same Copy_line transaction (the
     [test_pctrl] stimulus) and are scored by {!Fault.Campaign} under the
-    control, table-SEU and register-upset models. *)
+    control, table-SEU, register-upset and netlist stuck-at models; the
+    stuck-at campaign synthesizes each implementation with
+    {!Synth.Flow.compile} and classifies sites bit-parallel through the
+    {!Aig.Compiled} kernel. *)
 
 type impl = Flexible | Bound
 
@@ -38,7 +41,9 @@ val run :
   row list
 (** Campaigns for both implementations under each model, deterministic in
     [seed]. [sites] caps each campaign's sample (defaults 48); register
-    models sample injection cycles within [cycles] (default 40). *)
+    models sample injection cycles within [cycles] (default 40). The
+    stuck-at model compiles the implementation's netlist on demand and
+    simulates [cycles] random netlist-stimulus cycles from [seed]. *)
 
 val vulnerability : Fault.Campaign.report -> float option
 (** (mismatches + hangs) / injected; [None] for an empty campaign. *)

@@ -45,6 +45,7 @@ val run :
   ?resume:Engine.Journal.entry list ->
   ?on_checkpoint:(int -> unit) ->
   ?aig:Sim.aig_spec ->
+  ?packed:bool ->
   seed:int ->
   sites:int ->
   model:model ->
@@ -54,7 +55,17 @@ val run :
     of that many sites (model [All] always retains the control site).
     [jobs]/[timeout_s]/[retries]/[backoff_s]/[journal]/[resume]/
     [on_checkpoint] are passed to {!Engine.Batch.run}. Model [Stuck]
-    without [~aig] has an empty population. *)
+    without [~aig] has an empty population.
+
+    [packed] (default [true]) classifies stuck-at sites bit-parallel via
+    {!Sim.aig_run_sites_packed} in a pre-pass — {!Aig.Compiled.lanes}
+    sites per simulation — before the job pool starts; pool workers then
+    answer stuck-at sites from the precomputed table. Classifications,
+    the journal, and the rendered report are byte-identical to
+    [~packed:false] (the packed pass preserves scalar mismatch
+    attribution, and any packed failure falls back to scalar per site).
+    Sites already settled by [resume] are never re-simulated, packed or
+    not. *)
 
 val first_mismatch : report -> Site.t option
 (** The first site classified as a mismatch — the one worth a VCD dump. *)

@@ -187,7 +187,7 @@ let aig_stimulus spec =
   (* One row of PI values per cycle, deterministic in [seed] and generated
      identically for golden and faulty runs. *)
   let rng = Workload.Rng.make spec.seed in
-  let num_pis = List.length (Aig.pis spec.aig) in
+  let num_pis = Aig.num_pis spec.aig in
   let stim = Array.make spec.cycles [||] in
   for c = 0 to spec.cycles - 1 do
     stim.(c) <- Array.init num_pis (fun _ -> true) ;
@@ -197,48 +197,42 @@ let aig_stimulus spec =
   done;
   stim
 
+(* Register a stuck-at force for one lane of a packed pass. RTL-state
+   sites cannot be expressed as a netlist force and raise. *)
+let add_site_force s lane site =
+  match site with
+  | Site.Stuck_at { node; value } ->
+    if value then Aig.Compiled.add_force s ~node ~set:(1 lsl lane) ~clear:0
+    else Aig.Compiled.add_force s ~node ~set:0 ~clear:(1 lsl lane)
+  | Site.No_fault -> ()
+  | Site.Table_bit _ | Site.Reg_bit _ ->
+    invalid_arg "Fault.Sim: RTL-state faults simulate on the RTL (run_site)"
+
 let aig_run spec ~force =
-  let aig = spec.aig in
-  let n = Aig.num_nodes aig in
+  let c = Aig.Compiled.compile spec.aig in
+  let s = Aig.Compiled.sim c in
+  (match force with
+   | Some (node, value) ->
+     if value then
+       Aig.Compiled.add_force s ~node ~set:Aig.Compiled.all_lanes ~clear:0
+     else Aig.Compiled.add_force s ~node ~set:0 ~clear:Aig.Compiled.all_lanes
+   | None -> ());
   let stim = aig_stimulus spec in
-  let slot = Hashtbl.create 64 in
-  List.iteri (fun i node -> Hashtbl.replace slot node i) (Aig.pis aig);
-  let latches = Aig.latches aig in
-  let lslot = Hashtbl.create 64 in
-  List.iteri (fun i node -> Hashtbl.replace lslot node i) latches;
-  let state =
-    Array.of_list
-      (List.map
-         (fun l ->
-           let _, init, _, _ = Aig.latch_info aig l in
-           init)
-         latches)
-  in
-  let pos = Aig.pos aig in
-  let values = Array.make n false in
-  let lit_value l = values.(Aig.node_of_lit l) <> Aig.is_complemented l in
+  let npis = Aig.Compiled.num_pis c in
+  let npos = Aig.Compiled.num_pos c in
+  let po_names = Array.init npos (Aig.Compiled.po_name c) in
   let out = Array.make spec.cycles [] in
-  for cycle = 0 to spec.cycles - 1 do
-    let piv = stim.(cycle) in
-    for node = 0 to n - 1 do
-      let v =
-        match Aig.kind aig node with
-        | Aig.Const -> false
-        | Aig.Pi -> piv.(Hashtbl.find slot node)
-        | Aig.Latch -> state.(Hashtbl.find lslot node)
-        | Aig.And ->
-          let a, b = Aig.fanins aig node in
-          lit_value a && lit_value b
-      in
-      values.(node) <-
-        (match force with
-         | Some (fn, fv) when fn = node -> fv
-         | _ -> v)
-    done;
-    out.(cycle) <- List.map (fun (name, l) -> (name, lit_value l)) pos;
-    let next = List.map (fun l -> lit_value (Aig.latch_next aig l)) latches in
-    List.iteri (fun i v -> state.(i) <- v) next
-  done;
+  Aig.Compiled.with_metrics ~active_lanes:1 s (fun () ->
+      for cycle = 0 to spec.cycles - 1 do
+        let piv = stim.(cycle) in
+        for i = 0 to npis - 1 do
+          Aig.Compiled.set_pi s i (Aig.Compiled.replicate piv.(i))
+        done;
+        Aig.Compiled.step s;
+        out.(cycle) <-
+          List.init npos (fun k ->
+              (po_names.(k), Aig.Compiled.po s k land 1 = 1))
+      done);
   out
 
 let aig_golden spec = aig_run spec ~force:None
@@ -269,3 +263,87 @@ let aig_run_site spec (g : aig_golden) site =
         | None -> rows (cycle + 1)
     in
     rows 0
+
+let rec take_chunk k acc = function
+  | rest when k = 0 -> (List.rev acc, rest)
+  | [] -> (List.rev acc, [])
+  | x :: rest -> take_chunk (k - 1) (x :: acc) rest
+
+let aig_run_sites_packed spec (g : aig_golden) sites =
+  let scalar chunk =
+    List.map (fun site -> (site, aig_run_site spec g site)) chunk
+  in
+  match Aig.Compiled.compile spec.aig with
+  | exception _ ->
+    (* Uncompilable netlist: the scalar path reports the same failure
+       per site (as Hang), keeping classifications identical. *)
+    scalar sites
+  | c ->
+    let stim = aig_stimulus spec in
+    let npis = Aig.Compiled.num_pis c in
+    let npos = Aig.Compiled.num_pos c in
+    let po_names = Array.init npos (Aig.Compiled.po_name c) in
+    (* Golden PO words, replicated across lanes once per call. *)
+    let golden_words =
+      Array.map
+        (fun row ->
+          Array.of_list
+            (List.map (fun (_, v) -> Aig.Compiled.replicate v) row))
+        g
+    in
+    let s = Aig.Compiled.sim c in
+    (* One packed pass: lane [i] carries site [i] of the chunk via its
+       force masks; every undecided lane is compared against the golden
+       word after each cycle. Scan order (cycles outer, POs in
+       declaration order inner, first divergence wins) matches
+       [aig_run_site] exactly, so classifications are byte-identical. *)
+    let run_chunk chunk =
+      let site_arr = Array.of_list chunk in
+      let nsites = Array.length site_arr in
+      Aig.Compiled.clear_forces s;
+      Aig.Compiled.reset s;
+      Array.iteri (fun lane site -> add_site_force s lane site) site_arr;
+      let outcomes = Array.make nsites Masked in
+      let undecided =
+        ref
+          (if nsites >= Aig.Compiled.lanes then Aig.Compiled.all_lanes
+           else (1 lsl nsites) - 1)
+      in
+      Aig.Compiled.with_metrics ~active_lanes:nsites s (fun () ->
+          let cycle = ref 0 in
+          while !undecided <> 0 && !cycle < spec.cycles do
+            let piv = stim.(!cycle) in
+            for i = 0 to npis - 1 do
+              Aig.Compiled.set_pi s i (Aig.Compiled.replicate piv.(i))
+            done;
+            Aig.Compiled.step s;
+            let gw = golden_words.(!cycle) in
+            for k = 0 to npos - 1 do
+              let diff =
+                ref ((Aig.Compiled.po s k lxor gw.(k)) land !undecided)
+              in
+              while !diff <> 0 do
+                let lane = Aig.Compiled.ctz !diff in
+                outcomes.(lane) <-
+                  Mismatch { cycle = !cycle; signal = po_names.(k) };
+                undecided := !undecided land lnot (1 lsl lane);
+                diff := !diff land (!diff - 1)
+              done
+            done;
+            incr cycle
+          done);
+      List.mapi (fun lane site -> (site, outcomes.(lane))) chunk
+    in
+    let rec go acc = function
+      | [] -> List.concat (List.rev acc)
+      | rest ->
+        let chunk, rest = take_chunk Aig.Compiled.lanes [] rest in
+        let r =
+          (* Any packed failure falls back to the scalar path for the
+             whole chunk, which classifies (or raises) per site exactly
+             as a non-packed campaign would. *)
+          try run_chunk chunk with _ -> scalar chunk
+        in
+        go (r :: acc) rest
+    in
+    go [] sites

@@ -11,8 +11,11 @@
       stimulus length with inputs held — or the faulty simulation raised.
 
     RTL faults ({!Site.Table_bit}, {!Site.Reg_bit}) simulate through
-    {!Rtl.Eval}; netlist stuck-at faults simulate on the {!Aig} with a
-    forced-node interpreter. Both paths are pure functions of (spec, site),
+    {!Rtl.Eval}; netlist stuck-at faults simulate on the {!Aig} through
+    the {!Aig.Compiled} bit-parallel kernel — scalar per-site runs force
+    the stuck node across all lanes, while {!aig_run_sites_packed}
+    classifies up to {!Aig.Compiled.lanes} sites per simulation pass with
+    per-lane force masks. Both paths are pure functions of (spec, site),
     safe to run concurrently from {!Engine} pool workers. *)
 
 type outcome =
@@ -91,3 +94,15 @@ val aig_run_site : aig_spec -> aig_golden -> Site.t -> outcome
 (** Simulate with the stuck node forced to its stuck value (fanout sees
     the forced value; the fault is persistent) and compare primary
     outputs. @raise Invalid_argument on RTL-state sites. *)
+
+val aig_run_sites_packed :
+  aig_spec -> aig_golden -> Site.t list -> (Site.t * outcome) list
+(** Classify a batch of stuck-at sites bit-parallel: sites are chunked
+    {!Aig.Compiled.lanes} at a time, lane [i] of a chunk simulates site
+    [i] via per-lane force masks, and each lane is compared against the
+    replicated golden trace after every cycle (with early exit once all
+    lanes have diverged). Classifications are byte-identical to mapping
+    {!aig_run_site} over the list — the packed pass preserves the
+    first-cycle, first-output mismatch attribution, and any packed-pass
+    failure falls back to the scalar path for that chunk. Input order is
+    preserved in the result. @raise Invalid_argument on RTL-state sites. *)

@@ -227,27 +227,45 @@ let run ?(cap = 14) ?(espresso_iters = 3) ~annots g =
       window_sim g leaves union_nodes
     in
     let dc = constraint_dc annots leaves in
+    (* Roots of one group frequently compute identical functions (table
+       outputs wired to several consumers). The packed window simulation
+       gives each root an exact signature — its dense value string — so
+       espresso and the candidate completions run once per distinct
+       function instead of once per root. Memoization is transparent:
+       identical signatures mean identical truth functions, and the
+       analysis is deterministic in the truth function. *)
+    let an_memo : (Bytes.t, Twolevel.Cover.t * Bytes.t * Bytes.t) Hashtbl.t =
+      Hashtbl.create 8
+    in
     let analyze rn =
       let read_root = read (Aig.lit_of_node rn false) in
-      let tf =
-        Twolevel.Truthfn.of_fun ~nvars:k (fun m ->
-            if dc m then Twolevel.Truthfn.Dc
-            else if read_root m then Twolevel.Truthfn.On
-            else Twolevel.Truthfn.Off)
-      in
-      let cover = Twolevel.Espresso.minimize ~max_iters:espresso_iters tf in
-      let resolved =
+      let signature =
         Bytes.init (1 lsl k) (fun m ->
-            if Twolevel.Cover.eval cover m then '\001' else '\000')
+            if dc m then '\002' else if read_root m then '\001' else '\000')
       in
-      (* Alternative completion: don't-cares to zero. It often shares better
-         across the group's outputs (it is the table's own zero-fill). *)
-      let resolved0 =
-        Bytes.init (1 lsl k) (fun m ->
-            if Twolevel.Truthfn.get tf m = Twolevel.Truthfn.On then '\001'
-            else '\000')
-      in
-      (rn, cover, resolved, resolved0)
+      match Hashtbl.find_opt an_memo signature with
+      | Some (cover, resolved, resolved0) -> (rn, cover, resolved, resolved0)
+      | None ->
+        let tf =
+          Twolevel.Truthfn.of_fun ~nvars:k (fun m ->
+              if dc m then Twolevel.Truthfn.Dc
+              else if read_root m then Twolevel.Truthfn.On
+              else Twolevel.Truthfn.Off)
+        in
+        let cover = Twolevel.Espresso.minimize ~max_iters:espresso_iters tf in
+        let resolved =
+          Bytes.init (1 lsl k) (fun m ->
+              if Twolevel.Cover.eval cover m then '\001' else '\000')
+        in
+        (* Alternative completion: don't-cares to zero. It often shares
+           better across the group's outputs (the table's own zero-fill). *)
+        let resolved0 =
+          Bytes.init (1 lsl k) (fun m ->
+              if Twolevel.Truthfn.get tf m = Twolevel.Truthfn.On then '\001'
+              else '\000')
+        in
+        Hashtbl.replace an_memo signature (cover, resolved, resolved0);
+        (rn, cover, resolved, resolved0)
     in
     let analyzed = List.map analyze members in
     (* Exact candidate costs: build each candidate into a private scratch

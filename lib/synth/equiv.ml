@@ -5,49 +5,70 @@ type mismatch = {
   expected : bool;
 }
 
-(* One sequential run of an AIG: feed per-cycle input bits by PI name, return
-   per-cycle PO values by name. *)
+let lanes = Aig.Compiled.lanes
+
+(* One packed random word per draw: [lanes] independent bits, 30 at a
+   time from the stdlib generator. *)
+let random_word st =
+  let rec go acc k =
+    if k >= lanes then acc
+    else go (acc lor (Random.State.bits st lsl k)) (k + 30)
+  in
+  go 0 0
+
+(* One sequential run of an AIG through the compiled kernel: feed
+   per-cycle input bits by PI name, return the PO name row (declaration
+   order) plus one bool array per cycle. *)
 let aig_run g ~cycles ~input =
-  let state = Hashtbl.create 16 in
-  List.iter
-    (fun n ->
-      let _, init, _, _ = Aig.latch_info g n in
-      Hashtbl.replace state n init)
-    (Aig.latches g);
+  let c = Aig.Compiled.compile g in
+  let s = Aig.Compiled.sim c in
+  let npis = Aig.Compiled.num_pis c in
+  let npos = Aig.Compiled.num_pos c in
+  let names = Array.init npos (Aig.Compiled.po_name c) in
   let rows = ref [] in
   for cycle = 0 to cycles - 1 do
-    let read =
-      Aig.eval_all g
-        ~pi:(fun n -> input cycle (Aig.pi_name g n))
-        ~latch:(fun n -> Hashtbl.find state n)
-    in
-    let row =
-      List.map (fun (name, l) -> (name, read l)) (Aig.pos g)
-    in
-    rows := row :: !rows;
-    List.iter
-      (fun n -> Hashtbl.replace state n (read (Aig.latch_next g n)))
-      (Aig.latches g)
+    for i = 0 to npis - 1 do
+      Aig.Compiled.set_pi s i
+        (Aig.Compiled.replicate (input cycle (Aig.Compiled.pi_name c i)))
+    done;
+    Aig.Compiled.step s;
+    rows := Array.init npos (fun k -> Aig.Compiled.po s k land 1 = 1) :: !rows
   done;
-  List.rev !rows
+  (names, List.rev !rows)
 
 let interface_names g =
   ( List.sort Stdlib.compare (List.map (Aig.pi_name g) (Aig.pis g)),
     List.sort Stdlib.compare (List.map fst (Aig.pos g)) )
 
-let find_mismatch rows_a rows_b =
+(* Positions sorted by (name, position): aligns the k-th occurrence of
+   every output name across the two sides in O(n log n) once, instead of
+   a List.assoc scan per output per cycle. *)
+let sorted_perm names =
+  let perm = Array.init (Array.length names) Fun.id in
+  Array.sort
+    (fun i j ->
+      match String.compare names.(i) names.(j) with
+      | 0 -> compare i j
+      | c -> c)
+    perm;
+  perm
+
+let find_mismatch (names_a, rows_a) (names_b, rows_b) =
+  let pa = sorted_perm names_a and pb = sorted_perm names_b in
+  let k = Array.length pa in
   let rec scan cycle = function
     | [], [] -> None
-    | row_a :: rest_a, row_b :: rest_b ->
-      let bad =
-        List.find_opt
-          (fun (name, v) -> List.assoc name row_b <> v)
-          row_a
+    | (row_a : bool array) :: rest_a, row_b :: rest_b ->
+      let rec cols j =
+        if j >= k then scan (cycle + 1) (rest_a, rest_b)
+        else begin
+          let va = row_a.(pa.(j)) and vb = row_b.(pb.(j)) in
+          if va <> vb then
+            Some { cycle; output = names_a.(pa.(j)); got = va; expected = vb }
+          else cols (j + 1)
+        end
       in
-      (match bad with
-       | Some (name, v) ->
-         Some { cycle; output = name; got = v; expected = not v }
-       | None -> scan (cycle + 1) (rest_a, rest_b))
+      cols 0
     | _, _ -> assert false
   in
   scan 0 (rows_a, rows_b)
@@ -56,25 +77,80 @@ let aig_vs_aig ?(cycles = 64) ?(runs = 8) ~seed a b =
   let pi_a, po_a = interface_names a and pi_b, po_b = interface_names b in
   if pi_a <> pi_b then invalid_arg "Equiv.aig_vs_aig: input interfaces differ";
   if po_a <> po_b then invalid_arg "Equiv.aig_vs_aig: output interfaces differ";
+  let ca = Aig.Compiled.compile a and cb = Aig.Compiled.compile b in
+  let sa = Aig.Compiled.sim ca and sb = Aig.Compiled.sim cb in
+  (* Shared stimulus order: sorted PI names, resolved to slots once. *)
+  let pi_names = Array.of_list pi_a in
+  let slot c name =
+    match Aig.Compiled.pi_index c name with
+    | Some i -> i
+    | None -> assert false
+  in
+  let slots_a = Array.map (slot ca) pi_names in
+  let slots_b = Array.map (slot cb) pi_names in
+  (* Output alignment: sorted (name, position) on each side. *)
+  let po_names_a = Array.init (Aig.Compiled.num_pos ca) (Aig.Compiled.po_name ca) in
+  let po_names_b = Array.init (Aig.Compiled.num_pos cb) (Aig.Compiled.po_name cb) in
+  let pa = sorted_perm po_names_a and pb = sorted_perm po_names_b in
+  let npo = Array.length pa in
+  (* Packed pass for one run: 63 independent stimulus streams. Returns
+     the first (cycle, output slot, lane) where any lane diverges. *)
+  let packed_pass i =
+    let st = Random.State.make [| seed; i |] in
+    Aig.Compiled.reset sa;
+    Aig.Compiled.reset sb;
+    let found = ref None in
+    let cycle = ref 0 in
+    while !found = None && !cycle < cycles do
+      for p = 0 to Array.length pi_names - 1 do
+        let w = random_word st in
+        Aig.Compiled.set_pi sa slots_a.(p) w;
+        Aig.Compiled.set_pi sb slots_b.(p) w
+      done;
+      Aig.Compiled.step sa;
+      Aig.Compiled.step sb;
+      let j = ref 0 in
+      while !found = None && !j < npo do
+        let diff =
+          Aig.Compiled.po sa pa.(!j) lxor Aig.Compiled.po sb pb.(!j)
+        in
+        if diff <> 0 then
+          found := Some (!cycle, !j, Aig.Compiled.ctz diff);
+        incr j
+      done;
+      incr cycle
+    done;
+    !found
+  in
+  (* Exact single-vector replay of one lane: regenerate the packed tape,
+     extract the lane's bit per (cycle, PI), and re-simulate both graphs
+     on that scalar stream — the reported counterexample is exact. *)
+  let replay i lane =
+    let st = Random.State.make [| seed; i |] in
+    let tape = Hashtbl.create 256 in
+    for cycle = 0 to cycles - 1 do
+      Array.iter
+        (fun name ->
+          Hashtbl.replace tape (cycle, name)
+            (random_word st lsr lane land 1 = 1))
+        pi_names
+    done;
+    let input cycle name = Hashtbl.find tape (cycle, name) in
+    find_mismatch (aig_run a ~cycles ~input) (aig_run b ~cycles ~input)
+  in
   let rec run_i i =
     if i >= runs then None
-    else begin
-      let rng = Random.State.make [| seed; i |] in
-      let tape : (int * string, bool) Hashtbl.t = Hashtbl.create 256 in
-      let input cycle name =
-        match Hashtbl.find_opt tape (cycle, name) with
-        | Some v -> v
-        | None ->
-          let v = Random.State.bool rng in
-          Hashtbl.replace tape (cycle, name) v;
-          v
-      in
-      let rows_a = aig_run a ~cycles ~input in
-      let rows_b = aig_run b ~cycles ~input in
-      match find_mismatch rows_a rows_b with
-      | Some m -> Some m
+    else
+      match packed_pass i with
       | None -> run_i (i + 1)
-    end
+      | Some (cycle, j, lane) ->
+        (match replay i lane with
+         | Some m -> Some m
+         | None ->
+           (* Replay and packed kernel disagree — report the packed
+              evidence rather than mask it. *)
+           let got = Aig.Compiled.po sa pa.(j) lsr lane land 1 = 1 in
+           Some { cycle; output = po_names_a.(pa.(j)); got; expected = not got })
   in
   run_i 0
 
@@ -106,11 +182,13 @@ let rtl_vs_aig ?(cycles = 64) ?(runs = 8) ?(config = []) ~seed
         in
         Bitvec.get (List.assoc base tape.(cycle)) idx
       in
-      let aig_rows = aig_run g ~cycles ~input in
+      let aig_names, aig_rows = aig_run g ~cycles ~input in
+      let aig_pos = Hashtbl.create (Array.length aig_names) in
+      Array.iteri (fun k name -> Hashtbl.replace aig_pos name k) aig_names;
       let rec cycle_loop cycle aig_rows =
         match aig_rows with
         | [] -> None
-        | row :: rest ->
+        | (row : bool array) :: rest ->
           List.iter
             (fun (name, v) -> Rtl.Eval.set_input st name v)
             tape.(cycle);
@@ -125,10 +203,10 @@ let rtl_vs_aig ?(cycles = 64) ?(runs = 8) ?(config = []) ~seed
                     if i >= s.width then None
                     else begin
                       let expected = Bitvec.get v i in
-                      let got = List.assoc (Printf.sprintf "%s[%d]" s.name i) row in
+                      let name = Printf.sprintf "%s[%d]" s.name i in
+                      let got = row.(Hashtbl.find aig_pos name) in
                       if got <> expected then
-                        Some { cycle; output = Printf.sprintf "%s[%d]" s.name i;
-                               got; expected }
+                        Some { cycle; output = name; got; expected }
                       else check (i + 1)
                     end
                   in

@@ -1,4 +1,15 @@
-let run_once g =
+let run_once ?sigs g =
+  (* Simulation-guided candidate filter: a latch observed leaving its
+     init value under packed random simulation can never satisfy the
+     constant criterion below (which implies the latch holds init on
+     every reachable trajectory), so the fixpoint skips it outright.
+     Everything the filter keeps is still verified exactly — signatures
+     only refute, never prove. *)
+  let may_be_const =
+    match sigs with
+    | Some s -> fun n -> Simsig.latch_may_be_const s n
+    | None -> fun _ -> true
+  in
   (* Fixpoint: which (non-config) latches are provably constant? *)
   let known : (int, bool) Hashtbl.t = Hashtbl.create 16 in
   let rec const_of_lit memo l =
@@ -34,7 +45,8 @@ let run_once g =
     List.iter
       (fun n ->
         let _, init, _, is_config = Aig.latch_info g n in
-        if (not is_config) && not (Hashtbl.mem known n) then begin
+        if (not is_config) && may_be_const n && not (Hashtbl.mem known n)
+        then begin
           let d = Aig.latch_next g n in
           let folds =
             if d = Aig.lit_of_node n false then true (* self-hold *)
@@ -152,7 +164,18 @@ let run g =
   let rec go i g =
     if i > 8 then g
     else begin
-      let g' = run_once g in
+      (* A couple of packed random-simulation rounds cost O(cycles * n)
+         word ops and typically disqualify most latches from the
+         fixpoint; skipped for latch-free graphs (nothing to filter) and
+         when compilation is impossible (e.g. a next-state never set —
+         the fixpoint itself would raise on those anyway). *)
+      let sigs =
+        if Aig.num_latches g < 2 then None
+        else match Simsig.compute g with
+          | s -> Some s
+          | exception Invalid_argument _ -> None
+      in
+      let g' = run_once ?sigs g in
       if Aig.num_latches g' = Aig.num_latches g && Aig.num_ands g' = Aig.num_ands g
       then g'
       else go (i + 1) g'

@@ -85,6 +85,127 @@ let test_fanout () =
   Alcotest.(check int) "a used twice" 2 fo.(Aig.node_of_lit a);
   Alcotest.(check int) "ab used twice" 2 fo.(Aig.node_of_lit ab)
 
+(* ------------------------------------------------------ compiled kernel *)
+
+let test_compiled_ctz () =
+  for i = 0 to Aig.Compiled.lanes - 1 do
+    Alcotest.(check int) "single bit" i (Aig.Compiled.ctz (1 lsl i));
+    if i > 0 then
+      (* Lower bits win over higher garbage. *)
+      Alcotest.(check int) "lowest of two" (i - 1)
+        (Aig.Compiled.ctz ((1 lsl i) lor (1 lsl (i - 1))))
+  done;
+  Alcotest.(check int) "all lanes" 0 (Aig.Compiled.ctz Aig.Compiled.all_lanes);
+  Alcotest.check_raises "zero word rejected"
+    (Invalid_argument "Compiled.ctz: zero word") (fun () ->
+      ignore (Aig.Compiled.ctz 0))
+
+let test_compiled_toggle () =
+  (* A toggling latch through the sequential stepper: every lane carries
+     the same stream, so PO words are all-zeros / all-ones alternating. *)
+  let g = Aig.create () in
+  let q =
+    Aig.latch g "q" ~init:false ~reset:Rtl.Design.Sync_reset ~is_config:false
+  in
+  Aig.set_next g q (Aig.not_ q);
+  Aig.po g "q" q;
+  let c = Aig.Compiled.compile g in
+  Alcotest.(check int) "one latch" 1 (Aig.Compiled.num_latches c);
+  let s = Aig.Compiled.sim c in
+  for cycle = 0 to 5 do
+    Aig.Compiled.step s;
+    let expect = if cycle land 1 = 0 then 0 else Aig.Compiled.all_lanes in
+    Alcotest.(check int)
+      (Printf.sprintf "cycle %d" cycle)
+      expect (Aig.Compiled.po s 0)
+  done;
+  Alcotest.(check int) "steps counted" 6 (Aig.Compiled.steps s);
+  Aig.Compiled.reset s;
+  Aig.Compiled.step s;
+  Alcotest.(check int) "reset restarts at init" 0 (Aig.Compiled.po s 0)
+
+let test_compiled_force () =
+  let g = Aig.create () in
+  let a = Aig.pi g "a" and b = Aig.pi g "b" in
+  let ab = Aig.and_ g a b in
+  Aig.po g "y" ab;
+  let c = Aig.Compiled.compile g in
+  let s = Aig.Compiled.sim c in
+  (* a=1, b=0 everywhere: y computes 0; lane 0 forced to 1, lane 1 forced
+     (redundantly) to 0, every other lane sees the computed value. *)
+  Aig.Compiled.add_force s ~node:(Aig.node_of_lit ab) ~set:0b01 ~clear:0b10;
+  Aig.Compiled.set_pi s 0 Aig.Compiled.all_lanes;
+  Aig.Compiled.set_pi s 1 0;
+  Aig.Compiled.step s;
+  Alcotest.(check int) "forced lanes only" 0b01 (Aig.Compiled.po s 0);
+  Aig.Compiled.clear_forces s;
+  Aig.Compiled.set_pi s 1 Aig.Compiled.all_lanes;
+  Aig.Compiled.step s;
+  Alcotest.(check int) "forces cleared" Aig.Compiled.all_lanes
+    (Aig.Compiled.po s 0)
+
+(* Packed random word: [lanes] fresh bits, 30 at a time. *)
+let random_word st =
+  let rec go acc k =
+    if k >= Aig.Compiled.lanes then acc
+    else go (acc lor (Random.State.bits st lsl k)) (k + 30)
+  in
+  go 0 0
+
+(* The tentpole oracle: packed simulation of a randomly generated lowered
+   design agrees with the scalar [Aig.eval_all] interpreter on every lane
+   of every PO word of every cycle. *)
+let prop_packed_matches_eval_all =
+  Prop.test ~iters:40 "packed sim = eval_all on every lane"
+    (Prop.int 100_000)
+    (fun seed ->
+      let d = Workload.Rand_design.generate ~seed in
+      let g = (Synth.Lower.run d).Synth.Lower.aig in
+      let c = Aig.Compiled.compile g in
+      let st = Random.State.make [| 0xfeed; seed |] in
+      let cycles = 8 in
+      let npis = Aig.Compiled.num_pis c in
+      let npos = Aig.Compiled.num_pos c in
+      let tape =
+        Array.init cycles (fun _ ->
+            Array.init npis (fun _ -> random_word st))
+      in
+      let s = Aig.Compiled.sim c in
+      let packed =
+        Array.init cycles (fun cyc ->
+            Array.iteri (fun i w -> Aig.Compiled.set_pi s i w) tape.(cyc);
+            Aig.Compiled.step s;
+            Array.init npos (Aig.Compiled.po s))
+      in
+      let pis = Array.of_list (Aig.pis g) in
+      let pslot = Hashtbl.create 16 in
+      Array.iteri (fun i n -> Hashtbl.replace pslot n i) pis;
+      let latches = Aig.latches g in
+      let pos = Array.of_list (Aig.pos g) in
+      let ok = ref true in
+      for lane = 0 to Aig.Compiled.lanes - 1 do
+        let state = Hashtbl.create 16 in
+        List.iter
+          (fun n ->
+            let _, init, _, _ = Aig.latch_info g n in
+            Hashtbl.replace state n init)
+          latches;
+        for cyc = 0 to cycles - 1 do
+          let pi n = tape.(cyc).(Hashtbl.find pslot n) lsr lane land 1 = 1 in
+          let read = Aig.eval_all g ~pi ~latch:(Hashtbl.find state) in
+          Array.iteri
+            (fun k (_, l) ->
+              if packed.(cyc).(k) lsr lane land 1 = 1 <> read l then
+                ok := false)
+            pos;
+          let next =
+            List.map (fun n -> (n, read (Aig.latch_next g n))) latches
+          in
+          List.iter (fun (n, v) -> Hashtbl.replace state n v) next
+        done
+      done;
+      !ok)
+
 let prop_strash_never_duplicates =
   (* Random construction: building the same expression twice yields the
      same literal, and the node count does not grow. *)
@@ -138,6 +259,13 @@ let () =
           Alcotest.test_case "latches" `Quick test_latches;
           Alcotest.test_case "cones" `Quick test_cone;
           Alcotest.test_case "fanout counts" `Quick test_fanout;
+        ] );
+      ( "compiled",
+        [
+          Alcotest.test_case "ctz" `Quick test_compiled_ctz;
+          Alcotest.test_case "sequential toggle" `Quick test_compiled_toggle;
+          Alcotest.test_case "per-lane forces" `Quick test_compiled_force;
+          prop_packed_matches_eval_all;
         ] );
       ("properties", [ prop_strash_never_duplicates ]);
     ]

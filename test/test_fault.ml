@@ -166,6 +166,72 @@ let test_stuck_at_netlist () =
   Alcotest.(check bool) "some stuck faults are masked" true
     (visible < List.length sites)
 
+(* A bound random FSM lowered to a netlist — the stuck-at fault surface
+   for the packed-vs-scalar identity checks (no full synthesis flow, so
+   the property iterates cheaply). *)
+let lowered_aig seed =
+  let fsm = small_fsm seed in
+  let design =
+    Synth.Partial_eval.bind_tables
+      (Core.Fsm_ir.to_flexible_rtl fsm)
+      (Core.Fsm_ir.config_bindings fsm)
+  in
+  (Synth.Lower.run design).Synth.Lower.aig
+
+let prop_packed_sites_identical =
+  Prop.test ~iters:20 "packed site classification = scalar"
+    (Prop.int 100_000)
+    (fun seed ->
+      let aig = lowered_aig seed in
+      let aspec = { Fault.Sim.aig; cycles = 12; seed = seed + 1 } in
+      let golden = Fault.Sim.aig_golden aspec in
+      (* Keep several packed chunks' worth so the chunking seam at
+         [Aig.Compiled.lanes] is exercised. *)
+      let sites =
+        List.filteri (fun i _ -> i < 150) (Fault.Site.stuck_sites aig)
+      in
+      let scalar =
+        List.map (fun s -> (s, Fault.Sim.aig_run_site aspec golden s)) sites
+      in
+      Fault.Sim.aig_run_sites_packed aspec golden sites = scalar)
+
+let test_campaign_packed_identical () =
+  let aig = lowered_aig 6 in
+  let aspec = { Fault.Sim.aig; cycles = 12; seed = 21 } in
+  let spec = flexible_spec 6 in
+  let run packed =
+    Fault.Campaign.run ~packed ~aig:aspec ~seed:9 ~sites:80
+      ~model:Fault.Campaign.Stuck spec
+  in
+  let p = run true and s = run false in
+  Alcotest.(check bool) "sites classified" true (p.Fault.Campaign.injected > 0);
+  Alcotest.(check bool) "reports identical" true (p = s);
+  let render r = Fault.Campaign.to_table r ^ Fault.Campaign.summary_line r in
+  Alcotest.(check string) "rendered output byte-identical" (render s) (render p)
+
+let test_campaign_packed_resume () =
+  let aig = lowered_aig 7 in
+  let aspec = { Fault.Sim.aig; cycles = 12; seed = 33 } in
+  let spec = flexible_spec 7 in
+  let model = Fault.Campaign.Stuck in
+  let path = Filename.temp_file "fault-packed" ".jsonl" in
+  Sys.remove path;
+  let fresh = Fault.Campaign.run ~aig:aspec ~seed:3 ~sites:70 ~model spec in
+  let j = Engine.Journal.open_append path in
+  let journaled =
+    Fault.Campaign.run ~journal:j ~aig:aspec ~seed:3 ~sites:70 ~model spec
+  in
+  Engine.Journal.close j;
+  Alcotest.(check bool) "journaling does not change the report" true
+    (fresh = journaled);
+  let entries = Engine.Journal.load path in
+  let partial = List.filteri (fun i _ -> i < 31) entries in
+  let resumed =
+    Fault.Campaign.run ~resume:partial ~aig:aspec ~seed:3 ~sites:70 ~model spec
+  in
+  Alcotest.(check bool) "packed resume = fresh report" true (fresh = resumed);
+  Sys.remove path
+
 (* ----------------------------------------------------------------- vcd *)
 
 let contains hay needle =
@@ -208,8 +274,15 @@ let () =
             test_campaign_resume_identical;
         ] );
       ( "netlist",
-        [ Alcotest.test_case "stuck-at on the mapped AIG" `Quick
-            test_stuck_at_netlist ] );
+        [
+          Alcotest.test_case "stuck-at on the mapped AIG" `Quick
+            test_stuck_at_netlist;
+          prop_packed_sites_identical;
+          Alcotest.test_case "campaign packed = scalar" `Quick
+            test_campaign_packed_identical;
+          Alcotest.test_case "campaign packed resume identical" `Quick
+            test_campaign_packed_resume;
+        ] );
       ( "vcd", [ Alcotest.test_case "first mismatch trace" `Quick
                    test_vcd_of_first_mismatch ] );
     ]

@@ -126,6 +126,54 @@ let test_sweep_keeps_config () =
   let g' = Synth.Sweep.run g in
   Alcotest.(check int) "config latches survive" 16 (Aig.num_latches g')
 
+(* ---------------------------------------------------------------- simsig *)
+
+let test_simsig_latch_filter () =
+  (* A toggling latch leaves its init under simulation and must be
+     disqualified as a constant candidate; a self-holding latch never
+     moves and stays one. Complemented literals hash to distinct
+     signatures. *)
+  let g = Aig.create () in
+  let x = Aig.pi g "x" in
+  let t =
+    Aig.latch g "t" ~init:false ~reset:Rtl.Design.Sync_reset ~is_config:false
+  in
+  Aig.set_next g t (Aig.not_ t);
+  let h =
+    Aig.latch g "h" ~init:true ~reset:Rtl.Design.Sync_reset ~is_config:false
+  in
+  Aig.set_next g h h;
+  Aig.po g "o" (Aig.and_ g (Aig.and_ g t h) x);
+  let sigs = Synth.Simsig.compute g in
+  Alcotest.(check bool) "toggler disqualified" false
+    (Synth.Simsig.latch_may_be_const sigs (Aig.node_of_lit t));
+  Alcotest.(check bool) "self-holder stays candidate" true
+    (Synth.Simsig.latch_may_be_const sigs (Aig.node_of_lit h));
+  Alcotest.(check bool) "complement changes the signature" true
+    (Synth.Simsig.lit_signature sigs x
+     <> Synth.Simsig.lit_signature sigs (Aig.not_ x));
+  Alcotest.(check bool) "classes partition is non-trivial" true
+    (List.length (Synth.Simsig.classes sigs) > 1)
+
+let test_sweep_simfilter_two_latches () =
+  (* Two latches puts Sweep.run on the signature-filtered path: the
+     self-holding constant still folds, the toggler survives. *)
+  let g = Aig.create () in
+  let x = Aig.pi g "x" in
+  let c =
+    Aig.latch g "c" ~init:false ~reset:Rtl.Design.Sync_reset ~is_config:false
+  in
+  Aig.set_next g c c;
+  let t =
+    Aig.latch g "t" ~init:false ~reset:Rtl.Design.Sync_reset ~is_config:false
+  in
+  Aig.set_next g t (Aig.not_ t);
+  Aig.po g "o" (Aig.or_ g (Aig.or_ g x c) t);
+  let g' = Synth.Sweep.run g in
+  Alcotest.(check int) "constant folds, toggler survives" 1
+    (Aig.num_latches g');
+  check_equiv "simfilter" g g'
+
 (* ----------------------------------------------------------------- retime *)
 
 let test_retime_preserves () =
@@ -285,6 +333,13 @@ let () =
           Alcotest.test_case "constant latch" `Quick test_sweep_constant_latch;
           Alcotest.test_case "duplicate latches" `Quick test_sweep_merges_duplicates;
           Alcotest.test_case "config exempt" `Quick test_sweep_keeps_config;
+          Alcotest.test_case "signature-filtered fixpoint" `Quick
+            test_sweep_simfilter_two_latches;
+        ] );
+      ( "simsig",
+        [
+          Alcotest.test_case "latch constancy filter" `Quick
+            test_simsig_latch_filter;
         ] );
       ( "retime",
         [
