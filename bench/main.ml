@@ -426,11 +426,95 @@ let microbench ?(reps = 5) () =
   end;
   [ ("microbench", doc) ]
 
+(* ------------------------------------------------ equivalence benchmark *)
+
+(* SAT certification of the PCtrl partial evaluation, timed: the flexible
+   netlist specialized at the AIG level against the generator's partially
+   evaluated design, per protocol mode, plus one seeded negative control
+   (a microcode bit flip that must be refuted with a concrete witness).
+   Solver effort lands in the JSON so the proof cost is tracked alongside
+   the synthesis figures. *)
+let equivbench () =
+  print_endline
+    "== SAT equivalence certification: PCtrl partial evaluation ==";
+  let flex =
+    (Synth.Lower.run (Pctrl.Controller.full_design ())).Synth.Lower.aig
+  in
+  let one name ~frames ~mutate mode =
+    let bindings = Pctrl.Controller.bindings mode in
+    let bindings =
+      match mutate with
+      | None -> bindings
+      | Some seed ->
+        let rng = Workload.Rng.make seed in
+        let i = Workload.Rng.int rng (List.length bindings) in
+        let _, contents = List.nth bindings i in
+        let e = Workload.Rng.int rng (Array.length contents) in
+        let b = Workload.Rng.int rng (Bitvec.width contents.(e)) in
+        let contents' = Array.copy contents in
+        contents'.(e) <-
+          Bitvec.set contents.(e) b (not (Bitvec.get contents.(e) b));
+        List.mapi
+          (fun j (n, c) -> if j = i then (n, contents') else (n, c))
+          bindings
+    in
+    let a = Synth.Partial_eval.bind_aig_tables flex bindings in
+    let b =
+      (Synth.Lower.run (Pctrl.Controller.auto_design mode)).Synth.Lower.aig
+    in
+    let stats = ref None in
+    let t0 = Obs.now_us () in
+    let verdict =
+      Synth.Equiv.check_sat ~frames ~on_stats:(fun s -> stats := Some s) a b
+    in
+    let wall_s = (Obs.now_us () -. t0) /. 1e6 in
+    let verdict_name, witness =
+      match verdict with
+      | Synth.Equiv.Proved -> ("proved", None)
+      | Synth.Equiv.Refuted c ->
+        ("refuted", Some (Synth.Equiv.mismatch_to_string c.Synth.Equiv.first))
+      | Synth.Equiv.Undecided s -> ("undecided", Some s)
+    in
+    let solves, conflicts, propagations =
+      match !stats with
+      | None -> (0, 0, 0)
+      | Some s ->
+        (s.Sat.Solver.solves, s.Sat.Solver.conflicts,
+         s.Sat.Solver.propagations)
+    in
+    Printf.printf
+      "%-24s %-9s %8.3fs  %4d solve(s) %6d conflicts %9d propagations%s\n"
+      name verdict_name wall_s solves conflicts propagations
+      (match witness with None -> "" | Some w -> "  [" ^ w ^ "]");
+    Json.Obj
+      [ ("case", Json.String name);
+        ("verdict", Json.String verdict_name);
+        ("wall_s", Json.Float wall_s);
+        ("solves", Json.Int solves);
+        ("conflicts", Json.Int conflicts);
+        ("propagations", Json.Int propagations);
+        ("witness",
+         match witness with None -> Json.Null | Some w -> Json.String w) ]
+  in
+  let cached = one "cached" ~frames:16 ~mutate:None Pctrl.Controller.Cached in
+  let uncached =
+    one "uncached" ~frames:16 ~mutate:None Pctrl.Controller.Uncached
+  in
+  (* Seed 8 flips a dispatch-table bit that manifests within a few cycles,
+     so the refutation is cheap; deeper frames only matter for mutations of
+     unreachable entries, which this control avoids. *)
+  let mutation =
+    one "cached+mutation" ~frames:6 ~mutate:(Some 8) Pctrl.Controller.Cached
+  in
+  let rows = [ cached; uncached; mutation ] in
+  print_newline ();
+  [ ("equivbench", Json.List rows) ]
+
 let all ~sim_jobs ?timeout_s ?sim_reps () =
   let figs =
     List.concat
       [ fig5 (); fig6 (); fig8 (); fig9 ();
-        fault ~sim_jobs ?timeout_s (); ablations (); perf ();
+        fault ~sim_jobs ?timeout_s (); ablations (); equivbench (); perf ();
         microbench ?reps:sim_reps () ]
   in
   figs
@@ -452,7 +536,7 @@ let engine_stats_json (s : Engine.stats) =
 let usage () =
   prerr_endline
     "usage: main.exe \
-     [all|quick|fig5|fig6|fig8|fig9|fault|ablations|ablate-cone|ablate-twolevel|ablate-cap|ablate-encodings|ablate-library|ablate-ucode|perf|microbench]\n\
+     [all|quick|fig5|fig6|fig8|fig9|fault|ablations|ablate-cone|ablate-twolevel|ablate-cap|ablate-encodings|ablate-library|ablate-ucode|equivbench|perf|microbench]\n\
      \       [-j N] [--timeout-s S] [--retries N] [--cache-dir DIR] \
      [--no-cache] [--json PATH] [--trace PATH] [--metrics] [--sim-reps N]";
   exit 2
@@ -545,6 +629,7 @@ let () =
     | "quick" -> quick ()
     | "perf" -> perf ()
     | "microbench" -> microbench ?reps:!sim_reps ()
+    | "equivbench" -> equivbench ()
     | "ablate-cone" -> Experiments.Ablation.cone_cap (); []
     | "ablate-twolevel" -> Experiments.Ablation.twolevel (); []
     | "ablate-cap" -> Experiments.Ablation.annot_cap (); []

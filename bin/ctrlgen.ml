@@ -7,6 +7,8 @@
                  gate-level netlist or AIGER; optionally with a user cell
                  library (Liberty-lite)
      pctrl       build and synthesize the protocol-controller case study
+     equiv       certify flexible vs partially-evaluated PCtrl equivalence
+                 (simulation and/or complete SAT engine)
      fault       run a fault-injection campaign on the PCtrl case study
      experiment  regenerate a paper figure or ablation *)
 
@@ -34,6 +36,9 @@ type engine_cli = {
   sim_jobs : int;  (** resolved -j value for simulation batches *)
   timeout_s : float option;
   retries : int;
+  cache_dir : string option;
+      (** --cache-dir unless --no-cache; the equiv subcommand keeps its
+          verdict cache here next to the engine's result cache *)
 }
 
 let engine_term =
@@ -135,6 +140,7 @@ let engine_term =
       sim_jobs = (if jobs = 0 then Domain.recommended_domain_count () else jobs);
       timeout_s;
       retries;
+      cache_dir = (if no_cache then None else cache_dir);
     }
   in
   Term.(const setup $ jobs $ cache_dir $ no_cache $ timeout_s $ retries $ stats
@@ -383,6 +389,233 @@ let design_cmd =
     Term.(const run $ engine_term $ file $ liberty $ verilog $ netlist
           $ aiger $ do_synth)
 
+(* ------------------------------------------------------------------ equiv *)
+
+(* Flip one random bit of one random configuration-table entry. Returns the
+   perturbed bindings and a description of the flipped site, so a seeded
+   mutation is reproducible and reportable. *)
+let mutate_bindings ~seed bindings =
+  let rng = Workload.Rng.make seed in
+  let i = Workload.Rng.int rng (List.length bindings) in
+  let tname, contents = List.nth bindings i in
+  let e = Workload.Rng.int rng (Array.length contents) in
+  let b = Workload.Rng.int rng (Bitvec.width contents.(e)) in
+  let contents' = Array.copy contents in
+  contents'.(e) <- Bitvec.set contents.(e) b (not (Bitvec.get contents.(e) b));
+  ( List.mapi
+      (fun j (n, c) -> if j = i then (n, contents') else (n, c))
+      bindings,
+    Printf.sprintf "%s entry %d bit %d" tname e b )
+
+(* A per-engine outcome reduced to what the consistency/expectation checks
+   and the verdict cache need: the normalized witness string, not the
+   tape. *)
+type equiv_outcome = Eq_proved | Eq_refuted of string | Eq_undecided of string
+
+let equiv_outcome_line = function
+  | Eq_proved -> "proved"
+  | Eq_refuted m -> "counterexample: " ^ m
+  | Eq_undecided s -> "undecided: " ^ s
+
+(* Definitive verdicts (proved/refuted) are cached under --cache-dir keyed
+   by a digest of both netlists in AIGER form plus the engine parameters;
+   undecided verdicts depend only on budgets and are always recomputed. *)
+let equiv_cached eng ~key run =
+  match eng.cache_dir with
+  | None -> (run (), false)
+  | Some dir ->
+    let file = Filename.concat dir ("equiv-" ^ key ^ ".verdict") in
+    (match In_channel.with_open_text file In_channel.input_all with
+     | "proved" -> (Eq_proved, true)
+     | s when String.length s > 8 && String.sub s 0 8 = "refuted\t" ->
+       (Eq_refuted (String.sub s 8 (String.length s - 8)), true)
+     | _ | (exception Sys_error _) ->
+       let v = run () in
+       let payload =
+         match v with
+         | Eq_proved -> Some "proved"
+         | Eq_refuted m -> Some ("refuted\t" ^ m)
+         | Eq_undecided _ -> None
+       in
+       Option.iter
+         (fun p ->
+           try
+             if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+             Out_channel.with_open_text file (fun oc -> output_string oc p)
+           with Sys_error _ -> ())
+         payload;
+       (v, false))
+
+let equiv_cmd =
+  let run eng mode engine frames opt mutate expect =
+    let mode_name =
+      match mode with
+      | Pctrl.Controller.Cached -> "cached"
+      | Pctrl.Controller.Uncached -> "uncached"
+    in
+    let bindings = Pctrl.Controller.bindings mode in
+    let bindings, mutation =
+      match mutate with
+      | None -> (bindings, None)
+      | Some seed ->
+        let bindings', site = mutate_bindings ~seed bindings in
+        (bindings', Some (site, seed))
+    in
+    (* Side A: the flexible controller specialized *after* lowering — the
+       mode's configuration bits substituted for the config latches of the
+       flexible AIG. Side B: the same specialization done *before*
+       lowering by RTL partial evaluation (with --opt, additionally run
+       through the full optimizing flow). Equivalence certifies that
+       partial evaluation (and optionally the optimizer) preserved the
+       programmed behaviour. *)
+    let a =
+      Synth.Partial_eval.bind_aig_tables
+        (Synth.Lower.run (Pctrl.Controller.full_design ())).Synth.Lower.aig
+        bindings
+    in
+    let b =
+      let auto = Pctrl.Controller.auto_design mode in
+      if opt then (Synth.Flow.compile lib auto).Synth.Flow.aig
+      else (Synth.Lower.run auto).Synth.Lower.aig
+    in
+    Format.printf "equiv: pctrl %s, flexible(bound at AIG level) vs %s@."
+      mode_name
+      (if opt then "partially evaluated + optimized" else "partially evaluated");
+    Option.iter
+      (fun (site, seed) ->
+        Format.printf "mutation: seed %d flips %s@." seed site)
+      mutation;
+    let key engine_name =
+      Digest.to_hex
+        (Digest.string
+           (String.concat "\x00"
+              [ Synth.Aiger.write a; Synth.Aiger.write b;
+                string_of_int frames; engine_name ]))
+    in
+    let print_outcome name (v, cached) =
+      Format.printf "%s: %s%s@." name (equiv_outcome_line v)
+        (if cached then " (cached)" else "");
+      v
+    in
+    let run_sim () =
+      equiv_cached eng ~key:(key "sim") (fun () ->
+          match Synth.Equiv.check ~seed:0 a b with
+          | Synth.Equiv.Proved -> Eq_proved
+          | Synth.Equiv.Refuted c ->
+            Eq_refuted (Synth.Equiv.mismatch_to_string c.Synth.Equiv.first)
+          | Synth.Equiv.Undecided s -> Eq_undecided s)
+      |> print_outcome "sim"
+    in
+    let run_sat () =
+      equiv_cached eng ~key:(key "sat") (fun () ->
+          let on_stats (s : Sat.Solver.stats) =
+            Printf.eprintf
+              "sat: %d solve(s), %d conflicts, %d decisions, %d \
+               propagations, %.3fs\n%!"
+              s.Sat.Solver.solves s.Sat.Solver.conflicts
+              s.Sat.Solver.decisions s.Sat.Solver.propagations
+              s.Sat.Solver.solve_s
+          in
+          match Synth.Equiv.check_sat ~frames ~on_stats a b with
+          | Synth.Equiv.Proved -> Eq_proved
+          | Synth.Equiv.Refuted c ->
+            Eq_refuted (Synth.Equiv.mismatch_to_string c.Synth.Equiv.first)
+          | Synth.Equiv.Undecided s -> Eq_undecided s
+          | exception Failure msg ->
+            (* Replay of a SAT model through the scalar simulator failed:
+               an encoder soundness bug, never an input property. *)
+            Format.printf "sat: SOUNDNESS FAILURE: %s@." msg;
+            eng.report_stats ();
+            exit 1)
+      |> print_outcome "sat"
+    in
+    let verdicts =
+      match engine with
+      | `Sim -> [ run_sim () ]
+      | `Sat -> [ run_sat () ]
+      | `Both ->
+        let s = run_sim () in
+        [ s; run_sat () ]
+    in
+    eng.report_stats ();
+    let refuted = List.exists (function Eq_refuted _ -> true | _ -> false) verdicts in
+    let proved = List.exists (function Eq_proved -> true | _ -> false) verdicts in
+    if refuted && proved then begin
+      Format.printf
+        "DISAGREEMENT: one engine proved equivalence, another found a \
+         counterexample@.";
+      exit 1
+    end;
+    (match expect with
+     | None -> ()
+     | Some `Equivalent ->
+       if refuted then begin
+         Format.printf "expectation failed: expected equivalent, got a \
+                        counterexample@.";
+         exit 2
+       end
+     | Some `Counterexample ->
+       if not refuted then begin
+         Format.printf "expectation failed: expected a counterexample, none \
+                        found@.";
+         exit 2
+       end)
+  in
+  let mode_arg =
+    Arg.(value
+         & opt
+             (enum
+                [ ("cached", Pctrl.Controller.Cached);
+                  ("uncached", Pctrl.Controller.Uncached) ])
+             Pctrl.Controller.Cached
+         & info [ "mode" ] ~doc:"PCtrl protocol mode.")
+  in
+  let engine_arg =
+    Arg.(value
+         & opt (enum [ ("sim", `Sim); ("sat", `Sat); ("both", `Both) ]) `Both
+         & info [ "engine" ]
+             ~doc:"Checking engine: $(b,sim) (random simulation, falsifier \
+                   only), $(b,sat) (complete: register-correspondence \
+                   induction with BMC fallback) or $(b,both).")
+  in
+  let frames_arg =
+    Arg.(value & opt int 16
+         & info [ "frames" ] ~docv:"N"
+             ~doc:"BMC depth when the SAT engine cannot close an induction.")
+  in
+  let opt_arg =
+    Arg.(value & flag
+         & info [ "opt" ]
+             ~doc:"Compare against the fully optimized AIG instead of the \
+                   lowered one. Optimization does not preserve latch names, \
+                   so the SAT engine degrades to bounded model checking.")
+  in
+  let mutate_arg =
+    Arg.(value & opt (some int) None
+         & info [ "mutate" ] ~docv:"SEED"
+             ~doc:"Flip one seeded-random microcode bit on the flexible \
+                   side before binding (negative-control injection; the \
+                   flipped table/entry/bit is printed).")
+  in
+  let expect_arg =
+    Arg.(value
+         & opt
+             (some
+                (enum
+                   [ ("equivalent", `Equivalent);
+                     ("counterexample", `Counterexample) ]))
+             None
+         & info [ "expect" ]
+             ~doc:"Fail (exit 2) unless the outcome matches: \
+                   $(b,equivalent) = no engine refutes, \
+                   $(b,counterexample) = some engine refutes.")
+  in
+  Cmd.v
+    (Cmd.info "equiv"
+       ~doc:"Certify flexible-vs-partially-evaluated PCtrl equivalence.")
+    Term.(const run $ engine_term $ mode_arg $ engine_arg $ frames_arg
+          $ opt_arg $ mutate_arg $ expect_arg)
+
 (* ------------------------------------------------------------------ fault *)
 
 let fault_cmd =
@@ -573,5 +806,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ synth_cmd; asm_cmd; design_cmd; pctrl_cmd; fault_cmd;
+          [ synth_cmd; asm_cmd; design_cmd; pctrl_cmd; equiv_cmd; fault_cmd;
             experiment_cmd ]))

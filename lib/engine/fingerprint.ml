@@ -9,6 +9,7 @@ let options (o : Synth.Flow.options) =
     annot_width_cap;
     retime;
     stateprop;
+    sweep_sat;
     self_check;
   } =
     o
@@ -16,9 +17,10 @@ let options (o : Synth.Flow.options) =
   Printf.sprintf
     "(flow-options (collapse_cap %d) (espresso_iters %d) \
      (honor_tool_annots %b) (honor_generator_annots %b) \
-     (annot_width_cap %d) (retime %b) (stateprop %b) (self_check %b))"
+     (annot_width_cap %d) (retime %b) (stateprop %b) (sweep_sat %b) \
+     (self_check %b))"
     collapse_cap espresso_iters honor_tool_annots honor_generator_annots
-    annot_width_cap retime stateprop self_check
+    annot_width_cap retime stateprop sweep_sat self_check
 
 let cell (c : Cells.Cell.t) =
   let { Cells.Cell.cname; func; area; delay } = c in

@@ -1,0 +1,78 @@
+type t = {
+  nvars : int;
+  clauses : int list list;
+}
+
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun m -> raise (Parse_error (line, m))) fmt
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let header = ref None in
+  let clauses = ref [] in
+  let current = ref [] in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        if !header <> None then fail lineno "duplicate header";
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "p"; "cnf"; v; c ] ->
+          (match (int_of_string_opt v, int_of_string_opt c) with
+           | Some v, Some c when v >= 0 && c >= 0 -> header := Some (v, c)
+           | _ -> fail lineno "malformed p cnf header")
+        | _ -> fail lineno "malformed p cnf header"
+      end
+      else begin
+        if !header = None then fail lineno "clause before p cnf header";
+        let nvars = fst (Option.get !header) in
+        String.split_on_char ' ' line
+        |> List.filter (( <> ) "")
+        |> List.iter (fun tok ->
+               match int_of_string_opt tok with
+               | None -> fail lineno "bad literal %S" tok
+               | Some 0 ->
+                 clauses := List.rev !current :: !clauses;
+                 current := []
+               | Some l ->
+                 if abs l > nvars then
+                   fail lineno "literal %d exceeds declared %d vars" l nvars;
+                 current := l :: !current)
+      end)
+    lines;
+  let nlines = List.length lines in
+  if !current <> [] then fail nlines "unterminated clause (missing 0)";
+  match !header with
+  | None -> fail nlines "missing p cnf header"
+  | Some (nvars, c) ->
+    let clauses = List.rev !clauses in
+    if List.length clauses <> c then
+      fail nlines "declared %d clauses, found %d" c (List.length clauses);
+    { nvars; clauses }
+
+let print { nvars; clauses } =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" nvars (List.length clauses));
+  List.iter
+    (fun clause ->
+      List.iter (fun l -> Buffer.add_string buf (string_of_int l ^ " ")) clause;
+      Buffer.add_string buf "0\n")
+    clauses;
+  Buffer.contents buf
+
+let of_file path = parse (In_channel.with_open_text path In_channel.input_all)
+
+let to_file path t =
+  Out_channel.with_open_text path (fun oc -> output_string oc (print t))
+
+let load solver t =
+  if Solver.nvars solver <> 0 then
+    invalid_arg "Sat.Dimacs.load: solver already has variables";
+  for _ = 1 to t.nvars do
+    ignore (Solver.new_var solver)
+  done;
+  List.iter (Solver.add_clause solver) t.clauses

@@ -1,0 +1,32 @@
+(** DIMACS CNF interchange.
+
+    The de-facto text format of the SAT world: writing it makes every CNF
+    this repository builds (Tseitin-encoded miters, BMC unrollings)
+    consumable by external solvers, and reading it lets standard benchmark
+    files run through {!Solver}. The printer is canonical — one clause per
+    line, literals in the stored order, a single [p cnf] header — so its
+    output is usable as a golden-file fixture. *)
+
+type t = {
+  nvars : int;
+  clauses : int list list;
+}
+
+exception Parse_error of int * string
+(** Line number and message. *)
+
+val parse : string -> t
+(** Accepts comment lines ([c ...]), a [p cnf V C] header, and
+    whitespace-separated clauses terminated by [0] (clauses may span
+    lines). The declared clause count is checked.
+    @raise Parse_error on malformed input. *)
+
+val print : t -> string
+
+val of_file : string -> t
+val to_file : string -> t -> unit
+
+val load : Solver.t -> t -> unit
+(** Allocate [nvars] fresh solver variables (the solver must be fresh:
+    variable [i] of the file maps to solver variable [i]) and add every
+    clause. @raise Invalid_argument if the solver already has variables. *)

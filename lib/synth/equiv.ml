@@ -5,6 +5,17 @@ type mismatch = {
   expected : bool;
 }
 
+let mismatch_to_string m =
+  Printf.sprintf "cycle %d, output %s: %b vs %b" m.cycle m.output m.got
+    m.expected
+
+type cex = {
+  tape : (string * bool) list array;
+  first : mismatch;
+}
+
+type verdict = Proved | Refuted of cex | Undecided of string
+
 let lanes = Aig.Compiled.lanes
 
 (* One packed random word per draw: [lanes] independent bits, 30 at a
@@ -73,7 +84,7 @@ let find_mismatch (names_a, rows_a) (names_b, rows_b) =
   in
   scan 0 (rows_a, rows_b)
 
-let aig_vs_aig ?(cycles = 64) ?(runs = 8) ~seed a b =
+let sim_search ~cycles ~runs ~seed a b =
   let pi_a, po_a = interface_names a and pi_b, po_b = interface_names b in
   if pi_a <> pi_b then invalid_arg "Equiv.aig_vs_aig: input interfaces differ";
   if po_a <> po_b then invalid_arg "Equiv.aig_vs_aig: output interfaces differ";
@@ -127,17 +138,23 @@ let aig_vs_aig ?(cycles = 64) ?(runs = 8) ~seed a b =
      on that scalar stream — the reported counterexample is exact. *)
   let replay i lane =
     let st = Random.State.make [| seed; i |] in
-    let tape = Hashtbl.create 256 in
+    let tbl = Hashtbl.create 256 in
     for cycle = 0 to cycles - 1 do
       Array.iter
         (fun name ->
-          Hashtbl.replace tape (cycle, name)
+          Hashtbl.replace tbl (cycle, name)
             (random_word st lsr lane land 1 = 1))
         pi_names
     done;
-    let input cycle name = Hashtbl.find tape (cycle, name) in
-    find_mismatch (aig_run a ~cycles ~input) (aig_run b ~cycles ~input)
+    let tape =
+      Array.init cycles (fun c ->
+          Array.to_list
+            (Array.map (fun name -> (name, Hashtbl.find tbl (c, name))) pi_names))
+    in
+    let input cycle name = Hashtbl.find tbl (cycle, name) in
+    (find_mismatch (aig_run a ~cycles ~input) (aig_run b ~cycles ~input), tape)
   in
+  let trim tape m = Array.sub tape 0 (m.cycle + 1) in
   let rec run_i i =
     if i >= runs then None
     else
@@ -145,14 +162,309 @@ let aig_vs_aig ?(cycles = 64) ?(runs = 8) ~seed a b =
       | None -> run_i (i + 1)
       | Some (cycle, j, lane) ->
         (match replay i lane with
-         | Some m -> Some m
-         | None ->
+         | Some m, tape -> Some (m, trim tape m)
+         | None, tape ->
            (* Replay and packed kernel disagree — report the packed
               evidence rather than mask it. *)
            let got = Aig.Compiled.po sa pa.(j) lsr lane land 1 = 1 in
-           Some { cycle; output = po_names_a.(pa.(j)); got; expected = not got })
+           let m =
+             { cycle; output = po_names_a.(pa.(j)); got; expected = not got }
+           in
+           Some (m, trim tape m))
   in
   run_i 0
+
+let aig_vs_aig ?(cycles = 64) ?(runs = 8) ~seed a b =
+  Option.map fst (sim_search ~cycles ~runs ~seed a b)
+
+let check ?(cycles = 64) ?(runs = 8) ~seed a b =
+  match sim_search ~cycles ~runs ~seed a b with
+  | Some (first, tape) -> Refuted { tape; first }
+  | None ->
+    Undecided
+      (Printf.sprintf
+         "simulation: no mismatch in %d runs x %d lanes x %d cycles (not a proof)"
+         runs lanes cycles)
+
+(* ------------------------------------------------------------ SAT engine *)
+
+let zero_stats : Sat.Solver.stats =
+  {
+    solves = 0;
+    decisions = 0;
+    conflicts = 0;
+    propagations = 0;
+    learned = 0;
+    learned_lits = 0;
+    restarts = 0;
+    max_vars = 0;
+    solve_s = 0.;
+  }
+
+let add_stats (x : Sat.Solver.stats) (y : Sat.Solver.stats) : Sat.Solver.stats =
+  {
+    solves = x.solves + y.solves;
+    decisions = x.decisions + y.decisions;
+    conflicts = x.conflicts + y.conflicts;
+    propagations = x.propagations + y.propagations;
+    learned = x.learned + y.learned;
+    learned_lits = x.learned_lits + y.learned_lits;
+    restarts = x.restarts + y.restarts;
+    max_vars = max x.max_vars y.max_vars;
+    solve_s = x.solve_s +. y.solve_s;
+  }
+
+(* Aligned (name, a-side, b-side) pairs — the k-th occurrence of every name
+   on each side, the same normalization the simulators use. *)
+let align_pairs pos_a pos_b =
+  let names_a = Array.of_list (List.map fst pos_a)
+  and names_b = Array.of_list (List.map fst pos_b) in
+  let lits_a = Array.of_list (List.map snd pos_a)
+  and lits_b = Array.of_list (List.map snd pos_b) in
+  let pa = sorted_perm names_a and pb = sorted_perm names_b in
+  List.init (Array.length pa) (fun k ->
+      (names_a.(pa.(k)), lits_a.(pa.(k)), lits_b.(pb.(k))))
+
+(* Replay an input tape through both scalar simulators. A SAT witness that
+   fails to replay means the CNF encoding is unsound — reported loudly, not
+   masked; [Refuted] always carries a concrete simulation mismatch. *)
+let replay_tape a b (tape : (string * bool) list array) =
+  let cycles = Array.length tape in
+  let input c name = List.assoc name tape.(c) in
+  match find_mismatch (aig_run a ~cycles ~input) (aig_run b ~cycles ~input) with
+  | Some m -> { tape = Array.sub tape 0 (m.cycle + 1); first = m }
+  | None ->
+    failwith
+      "Equiv.check_sat: SAT counterexample failed to replay through the \
+       scalar simulator (encoder soundness bug)"
+
+let latch_profile g =
+  List.map
+    (fun n ->
+      let name, init, _, _ = Aig.latch_info g n in
+      (name, init))
+    (Aig.latches g)
+  |> List.sort compare
+
+let unique_names profile =
+  let names = List.map fst profile in
+  List.length (List.sort_uniq String.compare names) = List.length names
+
+let check_sat ?(frames = 16) ?on_stats a b =
+  let pi_a, po_a = interface_names a and pi_b, po_b = interface_names b in
+  if pi_a <> pi_b then invalid_arg "Equiv.check_sat: input interfaces differ";
+  if po_a <> po_b then invalid_arg "Equiv.check_sat: output interfaces differ";
+  let solvers = ref [] in
+  let new_solver () =
+    let s = Sat.Solver.create () in
+    solvers := s :: !solvers;
+    s
+  in
+  let finish v =
+    (match on_stats with
+     | None -> ()
+     | Some f ->
+       f
+         (List.fold_left
+            (fun acc s -> add_stats acc (Sat.Solver.stats s))
+            zero_stats !solvers));
+    v
+  in
+  (* Shared machinery for combinational CEC and register-correspondence
+     induction: both graphs are rebuilt into ONE structurally-hashed miter
+     AIG whose primary inputs (and, for induction, latch states as free
+     pseudo-inputs) are shared by name. Cones that are structurally equal
+     fold their XOR obligation to constant false and cost no solver work at
+     all — only genuinely different logic reaches CDCL, one assumption per
+     obligation over a single incremental CNF. *)
+  let try_induction ~sequential () =
+    let u = Aig.create () in
+    let leaf = Hashtbl.create 64 in
+    let pseudo name =
+      match Hashtbl.find_opt leaf name with
+      | Some l -> l
+      | None ->
+        let l = Aig.pi u name in
+        Hashtbl.replace leaf name l;
+        l
+    in
+    let copy g =
+      let map = Hashtbl.create (Aig.num_nodes g) in
+      let xl l =
+        let m = Hashtbl.find map (Aig.node_of_lit l) in
+        if Aig.is_complemented l then Aig.not_ m else m
+      in
+      (* Node index order is topological (fanins precede uses). *)
+      for n = 0 to Aig.num_nodes g - 1 do
+        match Aig.kind g n with
+        | Aig.Const -> Hashtbl.replace map n Aig.false_
+        | Aig.Pi -> Hashtbl.replace map n (pseudo (Aig.pi_name g n))
+        | Aig.Latch ->
+          let name, _, _, _ = Aig.latch_info g n in
+          (* The "latch:" prefix keeps state pseudo-inputs from colliding
+             with a real PI of the same name. *)
+          Hashtbl.replace map n (pseudo ("latch:" ^ name))
+        | Aig.And ->
+          let f0, f1 = Aig.fanins g n in
+          Hashtbl.replace map n (Aig.and_ u (xl f0) (xl f1))
+      done;
+      ( List.map (fun (name, l) -> (name, xl l)) (Aig.pos g),
+        List.map
+          (fun n ->
+            let name, _, _, _ = Aig.latch_info g n in
+            (name, xl (Aig.latch_next g n)))
+          (Aig.latches g) )
+    in
+    let pos_a, next_a = copy a in
+    let pos_b, next_b = copy b in
+    let obligations =
+      List.map
+        (fun (name, la, lb) -> ("output " ^ name, la, lb))
+        (align_pairs pos_a pos_b)
+      @
+      if sequential then
+        List.map
+          (fun (name, la, lb) -> ("next-state of latch " ^ name, la, lb))
+          (align_pairs next_a next_b)
+      else []
+    in
+    let s = new_solver () in
+    let cnf = Sat.Cnf.create s u in
+    let failed = ref None in
+    List.iter
+      (fun (tag, la, lb) ->
+        if !failed = None then begin
+          let x = Aig.xor_ u la lb in
+          if x = Aig.false_ then () (* structurally identical: free UNSAT *)
+          else
+            match Sat.Solver.solve ~assumptions:[ Sat.Cnf.lit cnf x ] s with
+            | Sat.Solver.Unsat -> ()
+            | Sat.Solver.Sat -> failed := Some tag
+        end)
+      obligations;
+    match !failed with
+    | None -> `Proved
+    | Some tag when sequential ->
+      (* The witness state may be unreachable; induction is inconclusive,
+         not a refutation. *)
+      `Inconclusive tag
+    | Some _ ->
+      (* Combinational: the model's PI values are a real counterexample. *)
+      let tape =
+        [|
+          List.map
+            (fun name ->
+              let v =
+                match Hashtbl.find_opt leaf name with
+                | None -> false (* input never referenced by either side *)
+                | Some l ->
+                  (match Sat.Cnf.var_of_node cnf (Aig.node_of_lit l) with
+                   | None -> false
+                   | Some v -> Sat.Solver.model_value s v)
+              in
+              (name, v))
+            pi_a;
+        |]
+      in
+      `Refuted (replay_tape a b tape)
+  in
+  (* Bounded model checking: unroll both netlists frame by frame into one
+     fresh structurally-hashed miter AIG (frame-f inputs shared by name,
+     initial states folded as constants), encode incrementally, and ask
+     per frame whether any aligned output pair can differ. *)
+  let bmc () =
+    let s = new_solver () in
+    let u = Aig.create () in
+    let cnf = Sat.Cnf.create s u in
+    let upis = Hashtbl.create 64 in
+    let upi f name =
+      match Hashtbl.find_opt upis (f, name) with
+      | Some l -> l
+      | None ->
+        let l = Aig.pi u (Printf.sprintf "%s@%d" name f) in
+        Hashtbl.replace upis (f, name) l;
+        l
+    in
+    let mk g =
+      let state = Hashtbl.create 16 in
+      List.iter
+        (fun n ->
+          let _, init, _, _ = Aig.latch_info g n in
+          Hashtbl.replace state n (if init then Aig.true_ else Aig.false_))
+        (Aig.latches g);
+      fun f ->
+        let tbl = Hashtbl.create 256 in
+        let xl l =
+          let m = Hashtbl.find tbl (Aig.node_of_lit l) in
+          if Aig.is_complemented l then Aig.not_ m else m
+        in
+        (* Node index order is topological (fanins precede uses). *)
+        for n = 0 to Aig.num_nodes g - 1 do
+          match Aig.kind g n with
+          | Aig.Const -> Hashtbl.replace tbl n Aig.false_
+          | Aig.Pi -> Hashtbl.replace tbl n (upi f (Aig.pi_name g n))
+          | Aig.Latch -> Hashtbl.replace tbl n (Hashtbl.find state n)
+          | Aig.And ->
+            let f0, f1 = Aig.fanins g n in
+            Hashtbl.replace tbl n (Aig.and_ u (xl f0) (xl f1))
+        done;
+        let nexts =
+          List.map (fun n -> (n, xl (Aig.latch_next g n))) (Aig.latches g)
+        in
+        let pos = List.map (fun (name, l) -> (name, xl l)) (Aig.pos g) in
+        List.iter (fun (n, l) -> Hashtbl.replace state n l) nexts;
+        pos
+    in
+    let step_a = mk a and step_b = mk b in
+    let rec frame f =
+      if f >= frames then
+        Undecided
+          (Printf.sprintf
+             "BMC: no counterexample within %d frames (not a proof)" frames)
+      else begin
+        let goal =
+          Aig.or_list u
+            (List.map
+               (fun (_, la, lb) -> Aig.xor_ u la lb)
+               (align_pairs (step_a f) (step_b f)))
+        in
+        match Sat.Solver.solve ~assumptions:[ Sat.Cnf.lit cnf goal ] s with
+        | Sat.Solver.Unsat -> frame (f + 1)
+        | Sat.Solver.Sat ->
+          let tape =
+            Array.init (f + 1) (fun c ->
+                List.map
+                  (fun name ->
+                    let v =
+                      match Aig.find_pi u (Printf.sprintf "%s@%d" name c) with
+                      | None -> false (* input never referenced *)
+                      | Some n ->
+                        (match Sat.Cnf.var_of_node cnf n with
+                         | None -> false
+                         | Some v -> Sat.Solver.model_value s v)
+                    in
+                    (name, v))
+                  pi_a)
+          in
+          Refuted (replay_tape a b tape)
+      end
+    in
+    frame 0
+  in
+  if Aig.num_latches a = 0 && Aig.num_latches b = 0 then
+    match try_induction ~sequential:false () with
+    | `Proved -> finish Proved
+    | `Refuted cex -> finish (Refuted cex)
+    | `Inconclusive _ -> assert false
+  else begin
+    let la = latch_profile a and lb = latch_profile b in
+    if la = lb && unique_names la then
+      match try_induction ~sequential:true () with
+      | `Proved -> finish Proved
+      | `Inconclusive _ -> finish (bmc ())
+      | `Refuted _ -> assert false
+    else finish (bmc ())
+  end
 
 let rtl_vs_aig ?(cycles = 64) ?(runs = 8) ?(config = []) ~seed
     (d : Rtl.Design.t) g =

@@ -1,11 +1,16 @@
-(** Simulation-based equivalence checking.
+(** Equivalence checking: random simulation (fast falsifier) and a complete
+    SAT engine.
 
-    Used by tests and the flow's self-check: two sequential netlists are
-    driven from their initial states with the same random input streams and
-    their outputs compared cycle by cycle. This is a falsifier, not a proof;
-    the optimization passes are also covered by exact per-pass arguments
-    (BDD canonicity, cover agreement), so random simulation is the
-    integration-level safety net. *)
+    The simulation side drives two sequential netlists from their initial
+    states with the same random input streams and compares outputs cycle by
+    cycle — an integration-level safety net, not a proof. The SAT side
+    ({!check_sat}) is complete on combinational netlists and on sequential
+    pairs whose latches correspond by name (register-correspondence
+    induction), with bounded model checking as the fallback. Both engines
+    normalize their witnesses the same way — the first differing output in
+    sorted name order, replayed through the scalar simulator — so a sim
+    counterexample and a SAT counterexample for the same bug print
+    identically. *)
 
 type mismatch = {
   cycle : int;
@@ -13,6 +18,59 @@ type mismatch = {
   got : bool;
   expected : bool;
 }
+
+val mismatch_to_string : mismatch -> string
+(** ["cycle %d, output %s: %b vs %b"] — the normalized one-line witness
+    format shared by every engine and consumer. *)
+
+type cex = {
+  tape : (string * bool) list array;
+  (** Per-cycle input assignment (PI name, value), cycle 0 first, ending at
+      the mismatch cycle. Replaying it through both netlists reproduces
+      [first]. *)
+  first : mismatch;  (** First divergence in sorted output-name order. *)
+}
+
+type verdict =
+  | Proved  (** Equivalence certified (UNSAT miter) — SAT engine only. *)
+  | Refuted of cex  (** Concrete counterexample, replayed and confirmed. *)
+  | Undecided of string
+      (** The engine exhausted its budget (simulation runs, BMC depth)
+          without a verdict; the string says which budget. *)
+
+val check : ?cycles:int -> ?runs:int -> seed:int -> Aig.t -> Aig.t -> verdict
+(** Simulation engine: {!aig_vs_aig} with the stimulus tape retained.
+    Never returns [Proved].
+    @raise Invalid_argument if the interfaces differ. *)
+
+val check_sat :
+  ?frames:int ->
+  ?on_stats:(Sat.Solver.stats -> unit) ->
+  Aig.t ->
+  Aig.t ->
+  verdict
+(** Complete SAT engine. Both graphs are Tseitin-encoded into one
+    incremental solver with primary inputs shared by name; each proof
+    obligation (one aligned output pair, or one matched latch's next-state
+    function) is an assumption-gated XOR solved over the shared CNF.
+
+    - No latches on either side: combinational equivalence, complete —
+      returns [Proved] or [Refuted].
+    - Same latch names and initial values on both sides:
+      register-correspondence induction (latch states become shared free
+      pseudo-inputs). All obligations UNSAT is a complete sequential proof.
+      A satisfiable obligation may be an unreachable-state artifact, so the
+      engine falls back to BMC instead of refuting.
+    - Otherwise: bounded model checking — both netlists unrolled [frames]
+      cycles (default 16) into a fresh structurally-hashed miter, solved
+      incrementally frame by frame. SAT yields [Refuted]; exhausting the
+      bound yields [Undecided].
+
+    Every SAT model is replayed through the scalar simulator before being
+    reported, so [Refuted] always carries a concrete, confirmed witness
+    ([Failure] is raised if replay disagrees — an encoder soundness bug).
+    [on_stats] receives the aggregated solver statistics for the call.
+    @raise Invalid_argument if the interfaces differ. *)
 
 val aig_vs_aig :
   ?cycles:int -> ?runs:int -> seed:int -> Aig.t -> Aig.t -> mismatch option

@@ -6,6 +6,7 @@ type options = {
   annot_width_cap : int;
   retime : bool;
   stateprop : bool;
+  sweep_sat : bool;
   self_check : bool;
 }
 
@@ -18,6 +19,7 @@ let default =
     annot_width_cap = 32;
     retime = false;
     stateprop = true;
+    sweep_sat = false;
     self_check = false;
   }
 
@@ -104,7 +106,8 @@ let compile ?(options = default) lib design =
       (Annots.extract lowered)
   in
   let relocate g = List.filter_map (Annots.relocate g) honored in
-  let g = traced_pass "sweep" ~iter:1 Sweep.run lowered.Lower.aig in
+  let sweep g = Sweep.run ~sat:options.sweep_sat g in
+  let g = traced_pass "sweep" ~iter:1 sweep lowered.Lower.aig in
   let g = if options.retime then traced_pass "retime" ~iter:1 Retime.run g else g in
   let g =
     if options.stateprop && honored <> [] then
@@ -120,8 +123,8 @@ let compile ?(options = default) lib design =
           ~espresso_iters:options.espresso_iters ~annots:(relocate g) g)
       g
   in
-  let g = traced_pass "sweep" ~iter:2 Sweep.run (collapse 1 g) in
-  let g = traced_pass "sweep" ~iter:3 Sweep.run (collapse 2 g) in
+  let g = traced_pass "sweep" ~iter:2 sweep (collapse 1 g) in
+  let g = traced_pass "sweep" ~iter:3 sweep (collapse 2 g) in
   if options.self_check then
     Obs.Span.with_span "flow.self_check" (fun () ->
         match Equiv.aig_vs_aig ~seed:4242 lowered.Lower.aig g with

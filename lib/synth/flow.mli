@@ -16,6 +16,9 @@
     - [annot_width_cap]: annotations on vectors wider than this are ignored
       (the paper's n ≤ 32 cliff).
     - [retime]: forward retiming before optimization (Fig. 8's "Retimed").
+    - [sweep_sat]: SAT-validated sweep — simulation signatures propose
+      constant/duplicate latches, CDCL induction disposes ({!Sweep.run}).
+      Default off; off is bit-identical to the historical flow.
     - [self_check]: after optimizing, random-simulate the result against
       the freshly lowered netlist and raise on any mismatch. *)
 
@@ -27,13 +30,14 @@ type options = {
   annot_width_cap : int;
   retime : bool;
   stateprop : bool;
+  sweep_sat : bool;
   self_check : bool;
 }
 
 val default : options
 (** [{ collapse_cap = 14; espresso_iters = 3; honor_tool_annots = true;
       honor_generator_annots = false; annot_width_cap = 32; retime = false;
-      stateprop = true; self_check = false }] *)
+      stateprop = true; sweep_sat = false; self_check = false }] *)
 
 type result = {
   lowered : Lower.t;  (** pre-optimization netlist *)

@@ -17,6 +17,16 @@ val bind_input : Rtl.Design.t -> string -> Bitvec.t -> Rtl.Design.t
     @raise Not_found if no such input, [Invalid_argument] on width
     mismatch. *)
 
+val bind_aig_tables : Aig.t -> (string * Bitvec.t array) list -> Aig.t
+(** AIG-level specialization: rebuild the graph with every configuration
+    latch of the named tables (Lower's ["<table>[entry][bit]"] naming)
+    replaced by its constant; structural hashing folds the table-read mux
+    trees on the fly. The result has only functional latches, so it can be
+    checked against a lowered pre-bound design by register-correspondence
+    induction ({!Equiv.check_sat}) — the paper's specialization claim as a
+    provable statement.
+    @raise Invalid_argument if a bound bit has no matching config latch. *)
+
 val specialize :
   ?inputs:(string * Bitvec.t) list ->
   ?tables:(string * Bitvec.t array) list ->

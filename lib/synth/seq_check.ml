@@ -5,100 +5,127 @@ type result =
 
 exception Overflow
 
-let run ?(max_vars = 64) ?(max_bdd = 200_000) ?(max_iters = 10_000) ga gb =
+let check_interfaces who ga gb =
   let pi_names g = List.sort compare (List.map (Aig.pi_name g) (Aig.pis g)) in
   let po_names g = List.sort compare (List.map fst (Aig.pos g)) in
   if pi_names ga <> pi_names gb then
-    invalid_arg "Seq_check.run: input interfaces differ";
+    invalid_arg ("Seq_check." ^ who ^ ": input interfaces differ");
   if po_names ga <> po_names gb then
-    invalid_arg "Seq_check.run: output interfaces differ";
+    invalid_arg ("Seq_check." ^ who ^ ": output interfaces differ")
+
+(* Shared product-machine BDD environment: variables 0..k-1 are the current
+   joint state (ga's latches then gb's), k..2k-1 the next state, 2k+ the
+   inputs (shared by name). *)
+type env = {
+  man : Bdd.man;
+  k : int;
+  lit_a : Aig.lit -> Bdd.t;
+  lit_b : Aig.lit -> Bdd.t;
+  transition : Bdd.t;
+  init : Bdd.t;
+  input_var : (string, int) Hashtbl.t;
+  num_inputs : int;
+}
+
+let build_env ~max_vars ~max_bdd ga gb =
   let latches_a = Aig.latches ga and latches_b = Aig.latches gb in
   let k = List.length latches_a + List.length latches_b in
-  if 2 * k >= max_vars then Gave_up "too many latches"
-  else begin
-    let man = Bdd.make_man () in
-    (* Vars: current state 0..k-1, next state k..2k-1, inputs 2k+. *)
-    let input_var = Hashtbl.create 16 in
-    let next_input = ref (2 * k) in
-    let var_of_input name =
-      match Hashtbl.find_opt input_var name with
-      | Some v -> v
+  let man = Bdd.make_man () in
+  let input_var = Hashtbl.create 16 in
+  let next_input = ref (2 * k) in
+  let var_of_input name =
+    match Hashtbl.find_opt input_var name with
+    | Some v -> v
+    | None ->
+      if !next_input >= max_vars then raise Overflow;
+      let v = !next_input in
+      incr next_input;
+      Hashtbl.replace input_var name v;
+      v
+  in
+  (* Per-graph node BDDs over (state vars, input vars). *)
+  let graph_env g latches offset =
+    let state_var = Hashtbl.create 16 in
+    List.iteri (fun i n -> Hashtbl.replace state_var n (offset + i)) latches;
+    let cache = Hashtbl.create 256 in
+    let rec lit_bdd l =
+      let b = node_bdd (Aig.node_of_lit l) in
+      if Aig.is_complemented l then Bdd.not_ b else b
+    and node_bdd n =
+      match Hashtbl.find_opt cache n with
+      | Some b -> b
       | None ->
-        if !next_input >= max_vars then raise Overflow;
-        let v = !next_input in
-        incr next_input;
-        Hashtbl.replace input_var name v;
-        v
+        let b =
+          match Aig.kind g n with
+          | Aig.Const -> Bdd.zero man
+          | Aig.Pi -> Bdd.var man (var_of_input (Aig.pi_name g n))
+          | Aig.Latch -> Bdd.var man (Hashtbl.find state_var n)
+          | Aig.And ->
+            let f0, f1 = Aig.fanins g n in
+            let b = Bdd.and_ (lit_bdd f0) (lit_bdd f1) in
+            if Bdd.size b > max_bdd then raise Overflow;
+            b
+        in
+        Hashtbl.replace cache n b;
+        b
     in
-    (* Per-graph node BDDs over (state vars, input vars). *)
-    let graph_env g latches offset =
-      let state_var = Hashtbl.create 16 in
-      List.iteri
-        (fun i n -> Hashtbl.replace state_var n (offset + i))
-        latches;
-      let cache = Hashtbl.create 256 in
-      let rec lit_bdd l =
-        let b = node_bdd (Aig.node_of_lit l) in
-        if Aig.is_complemented l then Bdd.not_ b else b
-      and node_bdd n =
-        match Hashtbl.find_opt cache n with
-        | Some b -> b
-        | None ->
-          let b =
-            match Aig.kind g n with
-            | Aig.Const -> Bdd.zero man
-            | Aig.Pi -> Bdd.var man (var_of_input (Aig.pi_name g n))
-            | Aig.Latch -> Bdd.var man (Hashtbl.find state_var n)
-            | Aig.And ->
-              let f0, f1 = Aig.fanins g n in
-              let b = Bdd.and_ (lit_bdd f0) (lit_bdd f1) in
-              if Bdd.size b > max_bdd then raise Overflow;
-              b
-          in
-          Hashtbl.replace cache n b;
-          b
-      in
-      lit_bdd
-    in
+    lit_bdd
+  in
+  let lit_a = graph_env ga latches_a 0 in
+  let lit_b = graph_env gb latches_b (List.length latches_a) in
+  let all_latches =
+    List.map (fun n -> (ga, lit_a, n)) latches_a
+    @ List.map (fun n -> (gb, lit_b, n)) latches_b
+  in
+  let transition =
+    List.fold_left
+      (fun (i, acc) (g, lit, n) ->
+        let f = lit (Aig.latch_next g n) in
+        (i + 1, Bdd.and_ acc (Bdd.iff (Bdd.var man (k + i)) f)))
+      (0, Bdd.one man) all_latches
+    |> snd
+  in
+  if Bdd.size transition > max_bdd then raise Overflow;
+  let init =
+    List.fold_left
+      (fun (i, acc) (g, _, n) ->
+        let _, iv, _, _ = Aig.latch_info g n in
+        (i + 1, Bdd.and_ acc (if iv then Bdd.var man i else Bdd.nvar man i)))
+      (0, Bdd.one man) all_latches
+    |> snd
+  in
+  {
+    man;
+    k;
+    lit_a;
+    lit_b;
+    transition;
+    init;
+    input_var;
+    num_inputs = !next_input - (2 * k);
+  }
+
+let image env r =
+  let quantified =
+    List.init env.k Fun.id
+    @ List.init env.num_inputs (fun j -> (2 * env.k) + j)
+  in
+  let conj = Bdd.and_ env.transition r in
+  Bdd.rename (Bdd.exists quantified conj) (fun v -> v - env.k)
+
+let run ?(max_vars = 64) ?(max_bdd = 200_000) ?(max_iters = 10_000) ga gb =
+  check_interfaces "run" ga gb;
+  let k = Aig.num_latches ga + Aig.num_latches gb in
+  if 2 * k >= max_vars then Gave_up "too many latches"
+  else
     match
-      let lit_a = graph_env ga latches_a 0 in
-      let lit_b = graph_env gb latches_b (List.length latches_a) in
-      let all_latches =
-        List.map (fun n -> (ga, lit_a, n)) latches_a
-        @ List.map (fun n -> (gb, lit_b, n)) latches_b
-      in
-      let transition =
-        List.fold_left
-          (fun (i, acc) (g, lit, n) ->
-            let f = lit (Aig.latch_next g n) in
-            (i + 1, Bdd.and_ acc (Bdd.iff (Bdd.var man (k + i)) f)))
-          (0, Bdd.one man) all_latches
-        |> snd
-      in
-      if Bdd.size transition > max_bdd then raise Overflow;
-      let init =
-        List.fold_left
-          (fun (i, acc) (g, _, n) ->
-            let _, iv, _, _ = Aig.latch_info g n in
-            ( i + 1,
-              Bdd.and_ acc (if iv then Bdd.var man i else Bdd.nvar man i) ))
-          (0, Bdd.one man) all_latches
-        |> snd
-      in
+      let env = build_env ~max_vars ~max_bdd ga gb in
       let miters =
         List.map
           (fun (name, la) ->
             let lb = List.assoc name (Aig.pos gb) in
-            (name, Bdd.xor (lit_a la) (lit_b lb)))
+            (name, Bdd.xor (env.lit_a la) (env.lit_b lb)))
           (Aig.pos ga)
-      in
-      let quantified =
-        List.init k Fun.id
-        @ List.init (!next_input - 2 * k) (fun j -> (2 * k) + j)
-      in
-      let image r =
-        let conj = Bdd.and_ transition r in
-        Bdd.rename (Bdd.exists quantified conj) (fun v -> v - k)
       in
       let rec fixpoint i r =
         if i > max_iters then raise Overflow;
@@ -107,11 +134,146 @@ let run ?(max_vars = 64) ?(max_bdd = 200_000) ?(max_iters = 10_000) ga gb =
         with
         | Some (name, _) -> Counterexample name
         | None ->
-          let r' = Bdd.or_ r (image r) in
+          let r' = Bdd.or_ r (image env r) in
           if Bdd.equal r r' then Equivalent else fixpoint (i + 1) r'
       in
-      fixpoint 0 init
+      fixpoint 0 env.init
     with
     | r -> r
     | exception Overflow -> Gave_up "BDD effort cap exceeded"
-  end
+
+(* ------------------------------------------------------------ SAT-backed *)
+
+(* [run_sat] keeps the BDDs for what they are good at — the reachable state
+   set, computed once as a fixpoint — and hands the per-output obligations
+   to the CDCL solver: both netlists are copied into one structurally
+   hashed miter whose latch states are free pseudo-inputs constrained by
+   the reach set R (encoded back into AIG muxes node-by-node, memoized on
+   BDD uid). Since R is the exact reachable set, an UNSAT sweep is a
+   complete proof and any SAT witness is a genuinely reachable
+   disagreement; the concrete trace is then recovered by bounded model
+   checking whose depth is covered by the fixpoint's iteration count.
+   When the reach computation blows the BDD caps, the SAT engine's plain
+   BMC ({!Equiv.check_sat}) takes over — refutation stays exact, proofs
+   become bounded. *)
+
+let run_sat ?(frames = 16) ?(max_vars = 64) ?(max_bdd = 200_000)
+    ?(max_iters = 10_000) ?on_stats ga gb =
+  check_interfaces "run_sat" ga gb;
+  let fallback reason =
+    match Equiv.check_sat ~frames ?on_stats ga gb with
+    | Equiv.Proved -> Equivalent
+    | Equiv.Refuted c -> Counterexample (Equiv.mismatch_to_string c.first)
+    | Equiv.Undecided s -> Gave_up (reason ^ "; " ^ s)
+  in
+  let k = Aig.num_latches ga + Aig.num_latches gb in
+  if 2 * k >= max_vars then fallback "too many latches for the BDD invariant"
+  else
+    match
+      let env = build_env ~max_vars ~max_bdd ga gb in
+      (* Reach fixpoint, no miter checks: R and the diameter bound. *)
+      let rec fixpoint i r =
+        if i > max_iters then raise Overflow;
+        let r' = Bdd.or_ r (image env r) in
+        if Bdd.equal r r' then (r, i) else fixpoint (i + 1) r'
+      in
+      let reach, diameter = fixpoint 0 env.init in
+      (* Miter AIG over shared pseudo-inputs: "state#i" for joint state
+         variable i, real input names for the PIs. *)
+      let u = Aig.create () in
+      let leaf = Hashtbl.create 64 in
+      let pseudo name =
+        match Hashtbl.find_opt leaf name with
+        | Some l -> l
+        | None ->
+          let l = Aig.pi u name in
+          Hashtbl.replace leaf name l;
+          l
+      in
+      let state_lit i = pseudo (Printf.sprintf "state#%d" i) in
+      let copy g offset =
+        let latch_idx = Hashtbl.create 16 in
+        List.iteri
+          (fun i n -> Hashtbl.replace latch_idx n (offset + i))
+          (Aig.latches g);
+        let map = Hashtbl.create (Aig.num_nodes g) in
+        let xl l =
+          let m = Hashtbl.find map (Aig.node_of_lit l) in
+          if Aig.is_complemented l then Aig.not_ m else m
+        in
+        for n = 0 to Aig.num_nodes g - 1 do
+          match Aig.kind g n with
+          | Aig.Const -> Hashtbl.replace map n Aig.false_
+          | Aig.Pi -> Hashtbl.replace map n (pseudo (Aig.pi_name g n))
+          | Aig.Latch ->
+            Hashtbl.replace map n (state_lit (Hashtbl.find latch_idx n))
+          | Aig.And ->
+            let f0, f1 = Aig.fanins g n in
+            Hashtbl.replace map n (Aig.and_ u (xl f0) (xl f1))
+        done;
+        List.map (fun (name, l) -> (name, xl l)) (Aig.pos g)
+      in
+      let pos_a = copy ga 0 and pos_b = copy gb (Aig.num_latches ga) in
+      (* Reach set R as an AIG: one mux per BDD node, memoized on uid. *)
+      let inv_input = Hashtbl.create 16 in
+      Hashtbl.iter (fun name v -> Hashtbl.replace inv_input v name) env.input_var;
+      let bdd_cache = Hashtbl.create 256 in
+      let rec of_bdd b =
+        if Bdd.is_zero b then Aig.false_
+        else if Bdd.is_one b then Aig.true_
+        else
+          match Hashtbl.find_opt bdd_cache (Bdd.uid b) with
+          | Some l -> l
+          | None ->
+            let v = Bdd.top_var b in
+            let hi = of_bdd (Bdd.cofactor b v true) in
+            let lo = of_bdd (Bdd.cofactor b v false) in
+            let sel =
+              if v < env.k then state_lit v
+              else pseudo (Hashtbl.find inv_input v)
+            in
+            let l = Aig.mux_ u sel hi lo in
+            Hashtbl.replace bdd_cache (Bdd.uid b) l;
+            l
+      in
+      let s = Sat.Solver.create () in
+      let cnf = Sat.Cnf.create s u in
+      Sat.Cnf.constrain cnf (of_bdd reach) true;
+      let miter_of name la =
+        let lb = List.assoc name pos_b in
+        Aig.xor_ u la lb
+      in
+      let failed = ref None in
+      List.iter
+        (fun (name, la) ->
+          if !failed = None then begin
+            let x = miter_of name la in
+            if x = Aig.false_ then ()
+            else
+              match Sat.Solver.solve ~assumptions:[ Sat.Cnf.lit cnf x ] s with
+              | Sat.Solver.Unsat -> ()
+              | Sat.Solver.Sat -> failed := Some name
+          end)
+        pos_a;
+      (match on_stats with
+       | Some f -> f (Sat.Solver.stats s)
+       | None -> ());
+      (match !failed with
+       | None -> Equivalent
+       | Some name ->
+         (* Genuinely disequivalent (R is exact). A concrete trace exists
+            within the reach diameter; recover it with BMC when that bound
+            is sane. *)
+         if diameter + 1 > 256 then
+           Counterexample
+             (Printf.sprintf "output %s differs on a reachable state" name)
+         else begin
+           match Equiv.check_sat ~frames:(diameter + 1) ?on_stats ga gb with
+           | Equiv.Refuted c -> Counterexample (Equiv.mismatch_to_string c.first)
+           | Equiv.Proved | Equiv.Undecided _ ->
+             Counterexample
+               (Printf.sprintf "output %s differs on a reachable state" name)
+         end)
+    with
+    | r -> r
+    | exception Overflow -> fallback "BDD effort cap exceeded"

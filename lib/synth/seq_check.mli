@@ -16,3 +16,27 @@ type result =
 val run : ?max_vars:int -> ?max_bdd:int -> ?max_iters:int -> Aig.t -> Aig.t -> result
 (** Both graphs must have the same PI and PO names.
     @raise Invalid_argument if the interfaces differ. *)
+
+val run_sat :
+  ?frames:int ->
+  ?max_vars:int ->
+  ?max_bdd:int ->
+  ?max_iters:int ->
+  ?on_stats:(Sat.Solver.stats -> unit) ->
+  Aig.t ->
+  Aig.t ->
+  result
+(** BDD + SAT hybrid. The BDD side computes only the reachable state set R
+    (one fixpoint, no per-output miters); the per-output obligations go to
+    the CDCL solver over a shared structurally-hashed miter whose latch
+    states are free pseudo-inputs constrained to R. R is exact, so UNSAT
+    everywhere is a complete proof and any witness is a reachable
+    disagreement — its concrete trace is recovered by bounded model
+    checking within the fixpoint's iteration count (the diameter), and
+    [Counterexample] then carries the normalized
+    {!Equiv.mismatch_to_string} witness instead of just an output name.
+    If R blows the BDD caps ([max_vars]/[max_bdd]/[max_iters]), plain SAT
+    BMC over [frames] cycles (default 16) takes over: refutations stay
+    exact, proofs become [Gave_up] bounds. [on_stats] receives solver
+    statistics (possibly once per internal engine run).
+    @raise Invalid_argument if the interfaces differ. *)

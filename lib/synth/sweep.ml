@@ -1,4 +1,126 @@
-let run_once ?sigs g =
+(* SAT-validated strengthening (enabled by [run ~sat:true]): simulation
+   signatures propose, the solver disposes.
+
+   - Constant latches: every non-config latch the signatures still allow as
+     constant is checked by simultaneous induction, greatest-fixpoint
+     style — assume ALL candidates hold their init value (unit constraints
+     on their state variables), then ask the solver for a state/input where
+     some candidate's next-state leaves init. Satisfiable candidates are
+     dropped and the induction re-runs (a fresh solver, since unit clauses
+     cannot be retracted) until it is closed; the survivors are genuinely
+     constant on every reachable trajectory.
+
+   - Duplicate latches: non-constant latches grouped by (state signature,
+     init, reset) are candidate-equal classes. Assuming all class
+     equalities (and the proven constants), each member must provably track
+     its representative's next-state; members with a satisfiable
+     disagreement leave the class and the induction re-runs. This catches
+     latches whose next-state functions are logically equal but
+     structurally different — invisible to the syntactic merge below.
+
+   Both inductions only strengthen the syntactic passes: their verdicts
+   seed [run_once]'s fixpoint and merge maps, and anything not proven is
+   left exactly as the syntactic pass would leave it. *)
+let sat_analysis g sigs =
+  let latches =
+    List.filter
+      (fun n ->
+        let _, _, _, is_config = Aig.latch_info g n in
+        not is_config)
+      (Aig.latches g)
+  in
+  let state_lit n = Aig.lit_of_node n false in
+  (* Constant-latch induction. *)
+  let cands =
+    ref
+      (List.filter_map
+         (fun n ->
+           let _, init, _, _ = Aig.latch_info g n in
+           if Simsig.latch_may_be_const sigs n then Some (n, init) else None)
+         latches)
+  in
+  let stable = ref false in
+  while (not !stable) && !cands <> [] do
+    let s = Sat.Solver.create () in
+    let cnf = Sat.Cnf.create s g in
+    List.iter
+      (fun (n, init) -> Sat.Cnf.constrain cnf (state_lit n) init)
+      !cands;
+    let keep, drop =
+      List.partition
+        (fun (n, init) ->
+          let sl = Sat.Cnf.lit cnf (Aig.latch_next g n) in
+          Sat.Solver.solve ~assumptions:[ (if init then -sl else sl) ] s
+          = Sat.Solver.Unsat)
+        !cands
+    in
+    if drop = [] then stable := true else cands := keep
+  done;
+  let sat_known = Hashtbl.create 16 in
+  List.iter (fun (n, init) -> Hashtbl.replace sat_known n init) !cands;
+  (* Duplicate-latch class induction. *)
+  let grouped = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      if not (Hashtbl.mem sat_known n) then begin
+        let _, init, reset, _ = Aig.latch_info g n in
+        let key = (Simsig.node_signature sigs n, init, reset) in
+        let prev = try Hashtbl.find grouped key with Not_found -> [] in
+        Hashtbl.replace grouped key (n :: prev)
+      end)
+    latches;
+  let classes =
+    Hashtbl.fold
+      (fun _ ns acc ->
+        match List.rev ns with
+        | rep :: (_ :: _ as members) -> (rep, ref members) :: acc
+        | _ -> acc)
+      grouped []
+  in
+  let stable = ref (classes = []) in
+  while not !stable do
+    let s = Sat.Solver.create () in
+    let cnf = Sat.Cnf.create s g in
+    Hashtbl.iter
+      (fun n init -> Sat.Cnf.constrain cnf (state_lit n) init)
+      sat_known;
+    List.iter
+      (fun (rep, members) ->
+        let lr = Sat.Cnf.lit cnf (state_lit rep) in
+        List.iter
+          (fun m ->
+            let lm = Sat.Cnf.lit cnf (state_lit m) in
+            Sat.Solver.add_clause s [ -lr; lm ];
+            Sat.Solver.add_clause s [ lr; -lm ])
+          !members)
+      classes;
+    stable := true;
+    List.iter
+      (fun (rep, members) ->
+        let keep, drop =
+          List.partition
+            (fun m ->
+              let sa = Sat.Cnf.lit cnf (Aig.latch_next g rep) in
+              let sb = Sat.Cnf.lit cnf (Aig.latch_next g m) in
+              let x = Sat.Solver.new_var s in
+              (* x -> (next(rep) xor next(m)) *)
+              Sat.Solver.add_clause s [ -x; sa; sb ];
+              Sat.Solver.add_clause s [ -x; -sa; -sb ];
+              Sat.Solver.solve ~assumptions:[ x ] s = Sat.Solver.Unsat)
+            !members
+        in
+        if drop <> [] then stable := false;
+        members := keep)
+      classes
+  done;
+  let sat_rep = Hashtbl.create 16 in
+  List.iter
+    (fun (rep, members) ->
+      List.iter (fun m -> Hashtbl.replace sat_rep m rep) !members)
+    classes;
+  (sat_known, sat_rep)
+
+let run_once ?sigs ?sat_known ?sat_rep g =
   (* Simulation-guided candidate filter: a latch observed leaving its
      init value under packed random simulation can never satisfy the
      constant criterion below (which implies the latch holds init on
@@ -10,8 +132,13 @@ let run_once ?sigs g =
     | Some s -> fun n -> Simsig.latch_may_be_const s n
     | None -> fun _ -> true
   in
-  (* Fixpoint: which (non-config) latches are provably constant? *)
+  (* Fixpoint: which (non-config) latches are provably constant? Seeded
+     with any SAT-proven constants, which the syntactic pass then
+     propagates. *)
   let known : (int, bool) Hashtbl.t = Hashtbl.create 16 in
+  (match sat_known with
+   | Some t -> Hashtbl.iter (fun n v -> Hashtbl.replace known n v) t
+   | None -> ());
   let rec const_of_lit memo l =
     let n = Aig.node_of_lit l in
     let v =
@@ -62,13 +189,24 @@ let run_once ?sigs g =
         end)
       (Aig.latches g)
   done;
-  (* Merge duplicate latches (same next literal, init, reset). *)
+  (* Merge duplicate latches (same next literal, init, reset). Seeded with
+     SAT-proven equal pairs; a latch already represented by the solver's
+     verdict is skipped here so it cannot become a syntactic class
+     representative (chains stay representative-terminated and [resolve]
+     walks them). *)
   let representative : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  (match sat_rep with
+   | Some t -> Hashtbl.iter (fun m r -> Hashtbl.replace representative m r) t
+   | None -> ());
   let by_signature = Hashtbl.create 16 in
   List.iter
     (fun n ->
       let _, init, reset, is_config = Aig.latch_info g n in
-      if (not is_config) && not (Hashtbl.mem known n) then begin
+      if
+        (not is_config)
+        && (not (Hashtbl.mem known n))
+        && not (Hashtbl.mem representative n)
+      then begin
         let signature = (Aig.latch_next g n, init, reset) in
         match Hashtbl.find_opt by_signature signature with
         | Some rep -> Hashtbl.replace representative n rep
@@ -77,8 +215,10 @@ let run_once ?sigs g =
     (Aig.latches g);
   (* Which latches are live (reachable from the POs)? *)
   let live = Hashtbl.create 16 in
-  let resolve n =
-    match Hashtbl.find_opt representative n with Some r -> r | None -> n
+  let rec resolve n =
+    match Hashtbl.find_opt representative n with
+    | Some r -> resolve r
+    | None -> n
   in
   let frontier = ref [] in
   let mark_roots roots =
@@ -160,7 +300,7 @@ let run_once ?sigs g =
 
 (* Merging can expose new constants and dangling latches; iterate until the
    graph stops shrinking. *)
-let run g =
+let run ?(sat = false) g =
   let rec go i g =
     if i > 8 then g
     else begin
@@ -175,7 +315,14 @@ let run g =
           | s -> Some s
           | exception Invalid_argument _ -> None
       in
-      let g' = run_once ?sigs g in
+      let sat_known, sat_rep =
+        match (sat, sigs) with
+        | true, Some s ->
+          let k, r = sat_analysis g s in
+          (Some k, Some r)
+        | _ -> (None, None)
+      in
+      let g' = run_once ?sigs ?sat_known ?sat_rep g in
       if Aig.num_latches g' = Aig.num_latches g && Aig.num_ands g' = Aig.num_ands g
       then g'
       else go (i + 1) g'

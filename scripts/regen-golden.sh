@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
-# Regenerate the golden fixtures under test/golden/ (Verilog pretty-printer
-# and VCD writer outputs). Run after an intentional emitter change, then
-# review the diff like any other source change.
+# Regenerate the golden fixtures under test/golden/ (Verilog pretty-printer,
+# VCD writer, and DIMACS CNF outputs). Run after an intentional emitter
+# change, then review the diff like any other source change.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mkdir -p test/golden
-dune build test/test_io.exe
+dune build test/test_io.exe test/test_sat.exe
 GOLDEN_REGEN="$(pwd)/test/golden" ./_build/default/test/test_io.exe test golden
+GOLDEN_REGEN="$(pwd)/test/golden" ./_build/default/test/test_sat.exe test dimacs
 echo "regenerated:"
 ls -1 test/golden | sed 's/^/  test\/golden\//'

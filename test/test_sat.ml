@@ -1,0 +1,753 @@
+(* SAT layer: CDCL solver unit regressions, brute-force differential on
+   random small CNFs, DIMACS round-trip + golden fixtures, Tseitin encoding
+   checked against AIG evaluation, and the equivalence-engine differential
+   suite (sim vs SAT must never disagree; every SAT counterexample must
+   replay to a concrete scalar-sim mismatch). *)
+
+let lit_value s sl =
+  let v = Sat.Solver.model_value s (abs sl) in
+  if sl < 0 then not v else v
+
+(* ---------------------------------------------------------------- units *)
+
+let test_trivial_sat () =
+  let s = Sat.Solver.create () in
+  let x = Sat.Solver.new_var s in
+  let y = Sat.Solver.new_var s in
+  Sat.Solver.add_clause s [ x; y ];
+  Sat.Solver.add_clause s [ -x; y ];
+  Alcotest.(check bool) "sat" true (Sat.Solver.solve s = Sat.Solver.Sat);
+  Alcotest.(check bool) "y forced" true (Sat.Solver.model_value s y)
+
+let test_trivial_unsat () =
+  let s = Sat.Solver.create () in
+  let x = Sat.Solver.new_var s in
+  Sat.Solver.add_clause s [ x ];
+  Sat.Solver.add_clause s [ -x ];
+  Alcotest.(check bool) "unsat" true (Sat.Solver.solve s = Sat.Solver.Unsat);
+  Alcotest.(check bool) "not ok" false (Sat.Solver.ok s)
+
+let test_empty_clause () =
+  let s = Sat.Solver.create () in
+  let _ = Sat.Solver.new_var s in
+  Sat.Solver.add_clause s [];
+  Alcotest.(check bool) "not ok" false (Sat.Solver.ok s);
+  Alcotest.(check bool) "unsat" true (Sat.Solver.solve s = Sat.Solver.Unsat)
+
+let test_duplicate_and_tautology () =
+  let s = Sat.Solver.create () in
+  let x = Sat.Solver.new_var s in
+  let y = Sat.Solver.new_var s in
+  (* Tautology must be dropped, not corrupt the database. *)
+  Sat.Solver.add_clause s [ x; -x ];
+  (* Duplicates must merge: [y; y] is the unit clause y. *)
+  Sat.Solver.add_clause s [ y; y ];
+  Sat.Solver.add_clause s [ -x ];
+  Alcotest.(check bool) "sat" true (Sat.Solver.solve s = Sat.Solver.Sat);
+  Alcotest.(check bool) "y" true (Sat.Solver.model_value s y);
+  Alcotest.(check bool) "x" false (Sat.Solver.model_value s x)
+
+let test_unit_propagation_level0 () =
+  (* A unit chain resolvable entirely at decision level 0: x, x->y, y->z,
+     then a clause false under the forced assignment flips to unsat with no
+     search (decisions stays 0). *)
+  let s = Sat.Solver.create () in
+  let x = Sat.Solver.new_var s in
+  let y = Sat.Solver.new_var s in
+  let z = Sat.Solver.new_var s in
+  Sat.Solver.add_clause s [ x ];
+  Sat.Solver.add_clause s [ -x; y ];
+  Sat.Solver.add_clause s [ -y; z ];
+  Alcotest.(check bool) "sat" true (Sat.Solver.solve s = Sat.Solver.Sat);
+  Alcotest.(check bool) "z forced" true (Sat.Solver.model_value s z);
+  let d0 = (Sat.Solver.stats s).decisions in
+  Alcotest.(check int) "no decisions needed" 0 d0;
+  Sat.Solver.add_clause s [ -z ];
+  Alcotest.(check bool) "now unsat" true (Sat.Solver.solve s = Sat.Solver.Unsat)
+
+let test_assumptions_incremental () =
+  let s = Sat.Solver.create () in
+  let x = Sat.Solver.new_var s in
+  let y = Sat.Solver.new_var s in
+  Sat.Solver.add_clause s [ -x; y ];
+  (* Conflicting assumptions make this call unsat... *)
+  Alcotest.(check bool) "assumed unsat" true
+    (Sat.Solver.solve ~assumptions:[ x; -y ] s = Sat.Solver.Unsat);
+  (* ...but must not poison the database for later calls. *)
+  Alcotest.(check bool) "still sat" true
+    (Sat.Solver.solve ~assumptions:[ x ] s = Sat.Solver.Sat);
+  Alcotest.(check bool) "y under x" true (Sat.Solver.model_value s y);
+  Alcotest.(check bool) "free sat" true (Sat.Solver.solve s = Sat.Solver.Sat)
+
+let test_pigeonhole () =
+  (* 4 pigeons, 3 holes: small but forces real conflict analysis. *)
+  let s = Sat.Solver.create () in
+  let v = Array.init 4 (fun _ -> Array.init 3 (fun _ -> Sat.Solver.new_var s)) in
+  for p = 0 to 3 do
+    Sat.Solver.add_clause s (Array.to_list v.(p))
+  done;
+  for h = 0 to 2 do
+    for p = 0 to 3 do
+      for q = p + 1 to 3 do
+        Sat.Solver.add_clause s [ -v.(p).(h); -v.(q).(h) ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "php(4,3) unsat" true
+    (Sat.Solver.solve s = Sat.Solver.Unsat);
+  Alcotest.(check bool) "had conflicts" true
+    ((Sat.Solver.stats s).conflicts > 0)
+
+(* ------------------------------------------------- brute-force differential *)
+
+let brute_force nvars clauses =
+  let sat = ref false in
+  let n = 1 lsl nvars in
+  let i = ref 0 in
+  while (not !sat) && !i < n do
+    let value v = !i land (1 lsl (v - 1)) <> 0 in
+    let clause_ok c = List.exists (fun l -> value (abs l) = (l > 0)) c in
+    if List.for_all clause_ok clauses then sat := true;
+    incr i
+  done;
+  !sat
+
+let gen_cnf rng =
+  let nvars = 1 + Workload.Rng.int rng 10 in
+  let nclauses = 1 + Workload.Rng.int rng 42 in
+  let clauses =
+    List.init nclauses (fun _ ->
+        let len = 1 + Workload.Rng.int rng 4 in
+        List.init len (fun _ ->
+            let v = 1 + Workload.Rng.int rng nvars in
+            if Workload.Rng.bool rng then v else -v))
+  in
+  (nvars, clauses)
+
+let cnf_prop =
+  Prop.make ~show:(fun (n, cs) -> Sat.Dimacs.print { nvars = n; clauses = cs })
+    ~shrink:(fun (n, cs) ->
+      (* Drop one clause at a time. *)
+      List.mapi (fun i _ -> (n, List.filteri (fun j _ -> j <> i) cs)) cs)
+    gen_cnf
+
+let solver_of_cnf nvars clauses =
+  let s = Sat.Solver.create () in
+  for _ = 1 to nvars do
+    ignore (Sat.Solver.new_var s)
+  done;
+  List.iter (Sat.Solver.add_clause s) clauses;
+  s
+
+let prop_cdcl_vs_brute =
+  Prop.test ~iters:300 ~seed:1000 "cdcl agrees with brute force" cnf_prop
+    (fun (nvars, clauses) ->
+      let s = solver_of_cnf nvars clauses in
+      match Sat.Solver.solve s with
+      | Sat.Solver.Unsat -> not (brute_force nvars clauses)
+      | Sat.Solver.Sat ->
+        (* Model must actually satisfy every clause. *)
+        List.for_all (List.exists (lit_value s)) clauses)
+
+let prop_incremental_assumptions =
+  (* Solving under assumptions must equal solving a copy with the
+     assumptions added as unit clauses, and must leave the database
+     reusable (same verdict as a fresh solve afterwards). *)
+  Prop.test ~iters:150 ~seed:2000 "assumptions = unit clauses" cnf_prop
+    (fun (nvars, clauses) ->
+      let rng = Workload.Rng.make (Hashtbl.hash (nvars, clauses)) in
+      let assumptions =
+        List.init
+          (1 + Workload.Rng.int rng 3)
+          (fun _ ->
+            let v = 1 + Workload.Rng.int rng nvars in
+            if Workload.Rng.bool rng then v else -v)
+      in
+      let s = solver_of_cnf nvars clauses in
+      let incremental = Sat.Solver.solve ~assumptions s in
+      let monolithic =
+        let s' = solver_of_cnf nvars clauses in
+        List.iter (fun a -> Sat.Solver.add_clause s' [ a ]) assumptions;
+        Sat.Solver.solve s'
+      in
+      let after = Sat.Solver.solve s in
+      let fresh = Sat.Solver.solve (solver_of_cnf nvars clauses) in
+      incremental = monolithic && after = fresh)
+
+(* --------------------------------------------------------------- dimacs *)
+
+let test_dimacs_roundtrip_fixed () =
+  let t = { Sat.Dimacs.nvars = 4; clauses = [ [ 1; -2 ]; [ 3; 4; -1 ]; [] ] } in
+  let t' = Sat.Dimacs.parse (Sat.Dimacs.print t) in
+  Alcotest.(check bool) "roundtrip" true (t = t')
+
+let prop_dimacs_roundtrip =
+  Prop.test ~iters:200 ~seed:3000 "dimacs print/parse roundtrip" cnf_prop
+    (fun (nvars, clauses) ->
+      let t = { Sat.Dimacs.nvars; clauses } in
+      Sat.Dimacs.parse (Sat.Dimacs.print t) = t)
+
+let test_dimacs_parse_errors () =
+  let expect_error text =
+    match Sat.Dimacs.parse text with
+    | _ -> Alcotest.failf "accepted malformed input %S" text
+    | exception Sat.Dimacs.Parse_error _ -> ()
+  in
+  List.iter expect_error
+    [
+      "";                                (* missing header *)
+      "p cnf 2\n1 0\n";                  (* short header *)
+      "1 0\np cnf 2 1\n";                (* clause before header *)
+      "p cnf 2 1\n3 0\n";                (* var out of range *)
+      "p cnf 2 1\n1 -2\n";               (* unterminated clause *)
+      "p cnf 2 2\n1 0\n";                (* clause count mismatch *)
+      "p cnf 2 1\n1 x 0\n";              (* bad literal *)
+      "p cnf 1 1\np cnf 1 1\n1 0\n";     (* duplicate header *)
+    ]
+
+let test_dimacs_parse_features () =
+  let t =
+    Sat.Dimacs.parse
+      "c a comment\np cnf 3 2\nc another\n1 -2\n3 0\n-1 2 -3 0\n"
+  in
+  Alcotest.(check int) "nvars" 3 t.Sat.Dimacs.nvars;
+  Alcotest.(check bool) "clauses (spanning lines)" true
+    (t.Sat.Dimacs.clauses = [ [ 1; -2; 3 ]; [ -1; 2; -3 ] ])
+
+let test_dimacs_load () =
+  let t =
+    { Sat.Dimacs.nvars = 3; clauses = [ [ 1 ]; [ -1; 2 ]; [ -2; 3 ] ] }
+  in
+  let s = Sat.Solver.create () in
+  Sat.Dimacs.load s t;
+  Alcotest.(check int) "nvars" 3 (Sat.Solver.nvars s);
+  Alcotest.(check bool) "sat" true (Sat.Solver.solve s = Sat.Solver.Sat);
+  Alcotest.(check bool) "chain forced" true (Sat.Solver.model_value s 3);
+  (* Loading into a used solver is an error (variable numbering would skew). *)
+  match Sat.Dimacs.load s t with
+  | _ -> Alcotest.fail "load into non-fresh solver accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_golden_dimacs_hand () =
+  let t =
+    {
+      Sat.Dimacs.nvars = 5;
+      clauses = [ [ 1; -2 ]; [ 2; 3; -4 ]; [ -1; 4; 5 ]; [ -5 ]; [ 1; 2; 3 ] ];
+    }
+  in
+  Golden.check "hand.cnf" (Sat.Dimacs.print t)
+
+let test_golden_dimacs_rand () =
+  (* Canonical printer output for a seeded random CNF: pins both the
+     generator and the printer. *)
+  let nvars, clauses = gen_cnf (Workload.Rng.make 42) in
+  Golden.check "rand.cnf" (Sat.Dimacs.print { Sat.Dimacs.nvars; clauses })
+
+(* -------------------------------------------------------------- tseitin *)
+
+(* Random combinational AIG: a handful of PIs, then a pile of random
+   and/or/xor/mux gates over existing literals, one PO per final gate. *)
+let gen_aig rng =
+  let g = Aig.create () in
+  let npis = 1 + Workload.Rng.int rng 5 in
+  let lits =
+    ref (List.init npis (fun i -> Aig.pi g (Printf.sprintf "i%d" i)))
+  in
+  let pick () =
+    let l = Workload.Rng.pick rng !lits in
+    if Workload.Rng.bool rng then Aig.not_ l else l
+  in
+  let ngates = 1 + Workload.Rng.int rng 30 in
+  for _ = 1 to ngates do
+    let l =
+      match Workload.Rng.int rng 4 with
+      | 0 -> Aig.and_ g (pick ()) (pick ())
+      | 1 -> Aig.or_ g (pick ()) (pick ())
+      | 2 -> Aig.xor_ g (pick ()) (pick ())
+      | _ -> Aig.mux_ g (pick ()) (pick ()) (pick ())
+    in
+    lits := l :: !lits
+  done;
+  Aig.po g "f" (List.hd !lits);
+  Aig.po g "g" (pick ());
+  g
+
+let aig_prop =
+  Prop.make ~show:(fun (seed, _) -> Printf.sprintf "aig seed %d" seed)
+    (fun rng ->
+      let seed = Workload.Rng.int rng 1_000_000 in
+      (seed, gen_aig (Workload.Rng.make seed)))
+
+let prop_tseitin_matches_eval =
+  Prop.test ~iters:200 ~seed:4000 "tseitin encoding matches Aig.eval_all"
+    aig_prop
+    (fun (seed, g) ->
+      let s = Sat.Solver.create () in
+      let cnf = Sat.Cnf.create s g in
+      let out_lits = List.map (fun (_, l) -> Sat.Cnf.lit cnf l) (Aig.pos g) in
+      let rng = Workload.Rng.make (seed + 1) in
+      let ok = ref true in
+      for _ = 1 to 8 do
+        let values = Hashtbl.create 8 in
+        let assumptions =
+          List.map
+            (fun n ->
+              let b = Workload.Rng.bool rng in
+              Hashtbl.replace values n b;
+              let v = Sat.Cnf.lit cnf (Aig.lit_of_node n false) in
+              if b then v else -v)
+            (Aig.pis g)
+        in
+        let eval =
+          Aig.eval_all g
+            ~pi:(fun n -> Hashtbl.find values n)
+            ~latch:(fun _ -> false)
+        in
+        (* Inputs pinned: must be Sat, and every PO's model value must
+           match scalar evaluation. *)
+        (match Sat.Solver.solve ~assumptions s with
+         | Sat.Solver.Unsat -> ok := false
+         | Sat.Solver.Sat ->
+           List.iteri
+             (fun i (_, l) ->
+               if lit_value s (List.nth out_lits i) <> eval l then ok := false)
+             (Aig.pos g));
+        (* Additionally pinning one PO to the wrong value must be Unsat. *)
+        let name, l0 = List.hd (Aig.pos g) in
+        ignore name;
+        let wrong =
+          let sl = Sat.Cnf.lit cnf l0 in
+          if eval l0 then -sl else sl
+        in
+        if Sat.Solver.solve ~assumptions:(wrong :: assumptions) s
+           <> Sat.Solver.Unsat
+        then ok := false
+      done;
+      !ok)
+
+let test_tseitin_const () =
+  (* Constant outputs (structural hashing folds them to the const node)
+     must encode to forced literals. *)
+  let g = Aig.create () in
+  let a = Aig.pi g "a" in
+  Aig.po g "zero" (Aig.and_ g a (Aig.not_ a));
+  Aig.po g "one" (Aig.or_ g a (Aig.not_ a));
+  let s = Sat.Solver.create () in
+  let cnf = Sat.Cnf.create s g in
+  let zero = Sat.Cnf.lit cnf (snd (List.nth (Aig.pos g) 0)) in
+  let one = Sat.Cnf.lit cnf (snd (List.nth (Aig.pos g) 1)) in
+  Alcotest.(check bool) "zero unsat as true" true
+    (Sat.Solver.solve ~assumptions:[ zero ] s = Sat.Solver.Unsat);
+  Alcotest.(check bool) "one unsat as false" true
+    (Sat.Solver.solve ~assumptions:[ -one ] s = Sat.Solver.Unsat);
+  Alcotest.(check bool) "consistent" true (Sat.Solver.solve s = Sat.Solver.Sat)
+
+(* -------------------------------------------------- equivalence engines *)
+
+let lib = Cells.Library.vt90
+
+(* Copy [g] into a fresh graph node by node (no structural-hash surprises:
+   the copy has the same interface and behaviour), optionally perturbing
+   it. [`Invert_po]/[`Xor_po_pi] are disequivalent by construction on any
+   design with at least one output (respectively one input);
+   [`Flip_init] may or may not be observable. *)
+let copy_perturbed ~perturb ~seed g =
+  let rng = Workload.Rng.make (seed lxor 0x5eed) in
+  let flip_latch =
+    match perturb with
+    | `Flip_init when Aig.num_latches g > 0 ->
+      List.nth (Aig.latches g) (Workload.Rng.int rng (Aig.num_latches g))
+    | _ -> -1
+  in
+  let ng = Aig.create () in
+  let map = Hashtbl.create 64 in
+  Hashtbl.replace map 0 Aig.false_;
+  let xl l =
+    let m = Hashtbl.find map (Aig.node_of_lit l) in
+    if Aig.is_complemented l then Aig.not_ m else m
+  in
+  for n = 0 to Aig.num_nodes g - 1 do
+    match Aig.kind g n with
+    | Aig.Const -> ()
+    | Aig.Pi -> Hashtbl.replace map n (Aig.pi ng (Aig.pi_name g n))
+    | Aig.Latch ->
+      let name, init, reset, is_config = Aig.latch_info g n in
+      let init = if n = flip_latch then not init else init in
+      Hashtbl.replace map n (Aig.latch ng name ~init ~reset ~is_config)
+    | Aig.And ->
+      let f0, f1 = Aig.fanins g n in
+      Hashtbl.replace map n (Aig.and_ ng (xl f0) (xl f1))
+  done;
+  List.iter
+    (fun n -> Aig.set_next ng (Hashtbl.find map n) (xl (Aig.latch_next g n)))
+    (Aig.latches g);
+  let npos = List.length (Aig.pos g) in
+  let hit = if npos = 0 then -1 else Workload.Rng.int rng npos in
+  List.iteri
+    (fun i (name, l) ->
+      let l = xl l in
+      let l =
+        if i <> hit then l
+        else
+          match perturb with
+          | `Invert_po -> Aig.not_ l
+          | `Xor_po_pi ->
+            (match Aig.pis ng with
+             | [] -> Aig.not_ l
+             | p :: _ -> Aig.xor_ ng l (Aig.lit_of_node p false))
+          | `None | `Flip_init -> l
+      in
+      Aig.po ng name l)
+    (Aig.pos g);
+  ng
+
+(* The differential satellite: on seeded random designs, the simulation
+   engine and the complete SAT engine must never disagree on a
+   DISEQUIVALENT verdict, and perturbations that are disequivalent by
+   construction must be refuted by the SAT engine. Witness soundness is
+   enforced inside [check_sat] itself: every SAT model is replayed through
+   the scalar simulator and a non-reproducing model raises [Failure],
+   which this harness counts as a falsification. *)
+let prop_engines_agree =
+  let p = Prop.pair (Prop.int 1_000_000) (Prop.int 4) in
+  Prop.test ~iters:200 ~seed:5000 "sim/SAT engines agree on random designs" p
+    (fun (dseed, kind) ->
+      let d = Workload.Rand_design.generate ~seed:dseed in
+      let a = (Synth.Lower.run d).Synth.Lower.aig in
+      let perturb =
+        match kind with
+        | 0 -> `None
+        | 1 -> `Invert_po
+        | 2 -> `Xor_po_pi
+        | _ -> `Flip_init
+      in
+      let b = copy_perturbed ~perturb ~seed:dseed a in
+      let sim = Synth.Equiv.check ~cycles:32 ~runs:3 ~seed:dseed a b in
+      let sat = Synth.Equiv.check_sat ~frames:8 a b in
+      (match sim with
+       | Synth.Equiv.Proved -> failwith "simulation engine claimed a proof"
+       | _ -> ());
+      match (sim, sat) with
+      | Synth.Equiv.Refuted _, Synth.Equiv.Proved ->
+        failwith "DISAGREEMENT: sim refuted what SAT proved"
+      | _ ->
+        (match (perturb, sat) with
+         | (`Invert_po | `Xor_po_pi), Synth.Equiv.Refuted _ -> true
+         | (`Invert_po | `Xor_po_pi), _ ->
+           (* Disequivalent by construction (an output is inverted /
+              xor-ed with an input): only a latch-free, output-free or
+              input-free degenerate design escapes. *)
+           Aig.num_pos a = 0
+           || (perturb = `Xor_po_pi && Aig.num_pis a = 0)
+         | (`None | `Flip_init), _ -> true))
+
+(* The optimizing flow must never be refuted by the complete engine. *)
+let prop_flow_never_refuted =
+  Prop.test ~iters:60 ~seed:6000 "SAT engine vs optimizing flow"
+    (Prop.int 1_000_000) (fun dseed ->
+      let d = Workload.Rand_design.generate ~seed:dseed in
+      let low = (Synth.Lower.run d).Synth.Lower.aig in
+      let opt = (Synth.Flow.compile lib d).Synth.Flow.aig in
+      match Synth.Equiv.check_sat ~frames:6 low opt with
+      | Synth.Equiv.Refuted c ->
+        failwith ("flow refuted: " ^ Synth.Equiv.mismatch_to_string c.first)
+      | Synth.Equiv.Proved | Synth.Equiv.Undecided _ -> true)
+
+(* SAT-validated sweep: behaviour preserved, latch count never grows. *)
+let prop_sweep_sat_preserves =
+  Prop.test ~iters:80 ~seed:7000 "sweep ~sat:true preserves behaviour"
+    (Prop.int 1_000_000) (fun dseed ->
+      let d = Workload.Rand_design.generate ~seed:dseed in
+      let g = (Synth.Lower.run d).Synth.Lower.aig in
+      let g' = Synth.Sweep.run ~sat:true g in
+      (match Synth.Equiv.aig_vs_aig ~cycles:32 ~runs:3 ~seed:dseed g g' with
+       | Some m ->
+         failwith ("sweep broke: " ^ Synth.Equiv.mismatch_to_string m)
+       | None -> ());
+      (match Synth.Equiv.check_sat ~frames:6 g g' with
+       | Synth.Equiv.Refuted c ->
+         failwith ("sweep refuted: " ^ Synth.Equiv.mismatch_to_string c.first)
+       | _ -> ());
+      Aig.num_latches g' <= Aig.num_latches g)
+
+(* The BDD+SAT hybrid must agree with the pure-BDD product machine. *)
+let prop_seq_check_sat_agrees =
+  Prop.test ~iters:60 ~seed:8000 "Seq_check.run_sat vs Seq_check.run"
+    (Prop.int 1_000_000) (fun dseed ->
+      let d = Workload.Rand_design.generate ~seed:dseed in
+      let low = (Synth.Lower.run d).Synth.Lower.aig in
+      let swept = Synth.Sweep.run low in
+      let r1 = Synth.Seq_check.run ~max_vars:40 low swept in
+      let r2 = Synth.Seq_check.run_sat ~max_vars:40 ~frames:8 low swept in
+      match (r1, r2) with
+      | Synth.Seq_check.Counterexample o, _ ->
+        failwith ("BDD product machine refuted the sweep on " ^ o)
+      | _, Synth.Seq_check.Counterexample w ->
+        failwith ("run_sat refuted the sweep: " ^ w)
+      | _ -> true)
+
+(* ------------------------------------------- directed engine regressions *)
+
+let test_check_sat_comb_refute () =
+  let mk op =
+    let g = Aig.create () in
+    let a = Aig.pi g "a" in
+    let b = Aig.pi g "b" in
+    Aig.po g "f" (op g a b);
+    g
+  in
+  match Synth.Equiv.check_sat (mk Aig.and_) (mk Aig.or_) with
+  | Synth.Equiv.Refuted c ->
+    Alcotest.(check int) "cycle" 0 c.first.Synth.Equiv.cycle;
+    Alcotest.(check string) "output" "f" c.first.Synth.Equiv.output
+  | Synth.Equiv.Proved -> Alcotest.fail "proved and/or equal"
+  | Synth.Equiv.Undecided s -> Alcotest.fail ("undecided: " ^ s)
+
+let test_check_sat_induction_proof () =
+  (* Same latch profile, structurally different but logically equal output
+     cones: the register-correspondence induction must close without BMC. *)
+  let mk distributed =
+    let g = Aig.create () in
+    let a = Aig.pi g "a" in
+    let b = Aig.pi g "b" in
+    let c = Aig.pi g "c" in
+    let q = Aig.latch g "q" ~init:false ~reset:Rtl.Design.No_reset ~is_config:false in
+    Aig.set_next g q a;
+    let f =
+      if distributed then Aig.or_ g (Aig.and_ g q b) (Aig.and_ g q c)
+      else Aig.and_ g q (Aig.or_ g b c)
+    in
+    Aig.po g "f" f;
+    g
+  in
+  match Synth.Equiv.check_sat (mk false) (mk true) with
+  | Synth.Equiv.Proved -> ()
+  | Synth.Equiv.Refuted c ->
+    Alcotest.fail ("refuted: " ^ Synth.Equiv.mismatch_to_string c.first)
+  | Synth.Equiv.Undecided s -> Alcotest.fail ("undecided: " ^ s)
+
+(* A one-cycle delay implemented with oppositely-named, oppositely-phased
+   latches: the latch profiles differ so the engine must go through BMC. *)
+let bmc_pair ~inverted =
+  let ga =
+    let g = Aig.create () in
+    let a = Aig.pi g "a" in
+    let q = Aig.latch g "q" ~init:false ~reset:Rtl.Design.No_reset ~is_config:false in
+    Aig.set_next g q a;
+    Aig.po g "f" q;
+    g
+  in
+  let gb =
+    let g = Aig.create () in
+    let a = Aig.pi g "a" in
+    let p = Aig.latch g "p" ~init:true ~reset:Rtl.Design.No_reset ~is_config:false in
+    (* [inverted]: store [not a], output [not p] — equivalent to [ga].
+       Otherwise store [a] behind init [true], output [not p] — differs
+       from cycle 1 on. *)
+    Aig.set_next g p (if inverted then Aig.not_ a else a);
+    Aig.po g "f" (Aig.not_ p);
+    g
+  in
+  (ga, gb)
+
+let test_check_sat_bmc_refute () =
+  let ga, gb = bmc_pair ~inverted:false in
+  match Synth.Equiv.check_sat ~frames:4 ga gb with
+  | Synth.Equiv.Refuted c ->
+    Alcotest.(check int) "cycle" 1 c.first.Synth.Equiv.cycle;
+    Alcotest.(check string) "output" "f" c.first.Synth.Equiv.output
+  | Synth.Equiv.Proved -> Alcotest.fail "proved inequivalent pair"
+  | Synth.Equiv.Undecided s -> Alcotest.fail ("undecided: " ^ s)
+
+let test_check_sat_bmc_bound () =
+  (* Equivalent but with disjoint latch names: BMC can only bound, and the
+     verdict must say so rather than claim a proof. *)
+  let ga, gb = bmc_pair ~inverted:true in
+  match Synth.Equiv.check_sat ~frames:4 ga gb with
+  | Synth.Equiv.Undecided s ->
+    Alcotest.(check bool) "mentions BMC" true
+      (String.length s >= 3 && String.sub s 0 3 = "BMC")
+  | Synth.Equiv.Proved -> Alcotest.fail "BMC cannot prove"
+  | Synth.Equiv.Refuted c ->
+    Alcotest.fail ("refuted: " ^ Synth.Equiv.mismatch_to_string c.first)
+
+let test_seq_check_sat_proof () =
+  (* The same renamed pair BMC could only bound: the BDD reach set closes
+     it into a complete proof. *)
+  let ga, gb = bmc_pair ~inverted:true in
+  match Synth.Seq_check.run_sat ~frames:4 ga gb with
+  | Synth.Seq_check.Equivalent -> ()
+  | Synth.Seq_check.Counterexample w -> Alcotest.fail ("refuted: " ^ w)
+  | Synth.Seq_check.Gave_up s -> Alcotest.fail ("gave up: " ^ s)
+
+let test_seq_check_sat_cex () =
+  let ga, gb = bmc_pair ~inverted:false in
+  match Synth.Seq_check.run_sat ~frames:4 ga gb with
+  | Synth.Seq_check.Counterexample w ->
+    Alcotest.(check string) "normalized witness"
+      "cycle 1, output f: false vs true" w
+  | Synth.Seq_check.Equivalent -> Alcotest.fail "proved inequivalent pair"
+  | Synth.Seq_check.Gave_up s -> Alcotest.fail ("gave up: " ^ s)
+
+(* ------------------------------------------------- SAT-validated sweep *)
+
+let test_sweep_sat_strengthens () =
+  (* Two latches with logically equal but structurally different
+     next-state functions: invisible to the syntactic merge, proved equal
+     by the class induction. *)
+  let g = Aig.create () in
+  let a = Aig.pi g "a" in
+  let b = Aig.pi g "b" in
+  let c = Aig.pi g "c" in
+  let p = Aig.latch g "p" ~init:false ~reset:Rtl.Design.No_reset ~is_config:false in
+  let q = Aig.latch g "q" ~init:false ~reset:Rtl.Design.No_reset ~is_config:false in
+  Aig.set_next g p (Aig.and_ g a (Aig.or_ g b c));
+  Aig.set_next g q (Aig.or_ g (Aig.and_ g a b) (Aig.and_ g a c));
+  Aig.po g "p" p;
+  Aig.po g "q" q;
+  let syn = Synth.Sweep.run ~sat:false g in
+  let sat = Synth.Sweep.run ~sat:true g in
+  Alcotest.(check int) "syntactic keeps both" 2 (Aig.num_latches syn);
+  Alcotest.(check int) "sat merges" 1 (Aig.num_latches sat);
+  (match Synth.Equiv.aig_vs_aig ~cycles:32 ~runs:3 ~seed:1 g sat with
+   | None -> ()
+   | Some m ->
+     Alcotest.fail ("merge broke: " ^ Synth.Equiv.mismatch_to_string m));
+  match Synth.Equiv.check_sat g sat with
+  | Synth.Equiv.Refuted c ->
+    Alcotest.fail ("merge refuted: " ^ Synth.Equiv.mismatch_to_string c.first)
+  | Synth.Equiv.Proved | Synth.Equiv.Undecided _ -> ()
+
+let test_sweep_sat_const () =
+  (* A latch fed by a logically-but-not-structurally false cone: only the
+     constant induction sees through it. *)
+  let g = Aig.create () in
+  let a = Aig.pi g "a" in
+  let b = Aig.pi g "b" in
+  let q = Aig.latch g "q" ~init:false ~reset:Rtl.Design.No_reset ~is_config:false in
+  let r = Aig.latch g "r" ~init:false ~reset:Rtl.Design.No_reset ~is_config:false in
+  Aig.set_next g q (Aig.and_ g (Aig.and_ g a b) (Aig.not_ a));
+  Aig.set_next g r a;
+  Aig.po g "f" (Aig.xor_ g q r);
+  let syn = Synth.Sweep.run ~sat:false g in
+  let sat = Synth.Sweep.run ~sat:true g in
+  Alcotest.(check int) "syntactic keeps both" 2 (Aig.num_latches syn);
+  Alcotest.(check int) "sat folds the dead latch" 1 (Aig.num_latches sat);
+  match Synth.Equiv.aig_vs_aig ~cycles:32 ~runs:3 ~seed:1 g sat with
+  | None -> ()
+  | Some m ->
+    Alcotest.fail ("fold broke: " ^ Synth.Equiv.mismatch_to_string m)
+
+(* -------------------------------------------------- PCtrl certification *)
+
+let pctrl_sides () =
+  let bindings = Pctrl.Controller.bindings Pctrl.Controller.Cached in
+  let flex =
+    (Synth.Lower.run (Pctrl.Controller.full_design ())).Synth.Lower.aig
+  in
+  let a = Synth.Partial_eval.bind_aig_tables flex bindings in
+  let b =
+    (Synth.Lower.run
+       (Pctrl.Controller.auto_design Pctrl.Controller.Cached))
+      .Synth.Lower.aig
+  in
+  (flex, bindings, a, b)
+
+let test_pctrl_certified () =
+  let _, _, a, b = pctrl_sides () in
+  match Synth.Equiv.check_sat a b with
+  | Synth.Equiv.Proved -> ()
+  | Synth.Equiv.Refuted c ->
+    Alcotest.fail ("refuted: " ^ Synth.Equiv.mismatch_to_string c.first)
+  | Synth.Equiv.Undecided s -> Alcotest.fail ("undecided: " ^ s)
+
+let test_pctrl_mutation_refuted () =
+  (* Seed 8 flips a dispatch-table bit whose effect surfaces within a few
+     cycles (seen first by simulation, then certified here): the SAT
+     engine must refute with a concrete replayed witness. *)
+  let flex, bindings, _, b = pctrl_sides () in
+  let rng = Workload.Rng.make 8 in
+  let i = Workload.Rng.int rng (List.length bindings) in
+  let _, contents = List.nth bindings i in
+  let e = Workload.Rng.int rng (Array.length contents) in
+  let bit = Workload.Rng.int rng (Bitvec.width contents.(e)) in
+  let contents' = Array.copy contents in
+  contents'.(e) <-
+    Bitvec.set contents.(e) bit (not (Bitvec.get contents.(e) bit));
+  let bindings' =
+    List.mapi
+      (fun j (n, c) -> if j = i then (n, contents') else (n, c))
+      bindings
+  in
+  let a' = Synth.Partial_eval.bind_aig_tables flex bindings' in
+  match Synth.Equiv.check_sat ~frames:6 a' b with
+  | Synth.Equiv.Refuted c ->
+    Alcotest.(check bool) "within the BMC bound" true
+      (c.first.Synth.Equiv.cycle < 6);
+    Alcotest.(check bool) "tape ends at the mismatch" true
+      (Array.length c.tape = c.first.Synth.Equiv.cycle + 1)
+  | Synth.Equiv.Proved -> Alcotest.fail "proved a mutated design"
+  | Synth.Equiv.Undecided s -> Alcotest.fail ("undecided: " ^ s)
+
+(* ----------------------------------------------------------------- main *)
+
+let () =
+  Alcotest.run "sat"
+    [
+      ( "solver",
+        [
+          Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
+          Alcotest.test_case "trivial unsat" `Quick test_trivial_unsat;
+          Alcotest.test_case "empty clause" `Quick test_empty_clause;
+          Alcotest.test_case "duplicate + tautology" `Quick
+            test_duplicate_and_tautology;
+          Alcotest.test_case "level-0 unit propagation" `Quick
+            test_unit_propagation_level0;
+          Alcotest.test_case "assumptions incremental" `Quick
+            test_assumptions_incremental;
+          Alcotest.test_case "pigeonhole unsat" `Quick test_pigeonhole;
+          prop_cdcl_vs_brute;
+          prop_incremental_assumptions;
+        ] );
+      ( "dimacs",
+        [
+          Alcotest.test_case "roundtrip fixed" `Quick test_dimacs_roundtrip_fixed;
+          prop_dimacs_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_dimacs_parse_errors;
+          Alcotest.test_case "parse features" `Quick test_dimacs_parse_features;
+          Alcotest.test_case "load into solver" `Quick test_dimacs_load;
+          Alcotest.test_case "golden hand.cnf" `Quick test_golden_dimacs_hand;
+          Alcotest.test_case "golden rand.cnf" `Quick test_golden_dimacs_rand;
+        ] );
+      ( "tseitin",
+        [
+          prop_tseitin_matches_eval;
+          Alcotest.test_case "constant folding" `Quick test_tseitin_const;
+        ] );
+      ( "equiv",
+        [
+          prop_engines_agree;
+          prop_flow_never_refuted;
+          prop_sweep_sat_preserves;
+          prop_seq_check_sat_agrees;
+          Alcotest.test_case "combinational refutation" `Quick
+            test_check_sat_comb_refute;
+          Alcotest.test_case "induction proof" `Quick
+            test_check_sat_induction_proof;
+          Alcotest.test_case "BMC refutation" `Quick test_check_sat_bmc_refute;
+          Alcotest.test_case "BMC bound is not a proof" `Quick
+            test_check_sat_bmc_bound;
+          Alcotest.test_case "run_sat completes renamed proof" `Quick
+            test_seq_check_sat_proof;
+          Alcotest.test_case "run_sat concrete witness" `Quick
+            test_seq_check_sat_cex;
+          Alcotest.test_case "sweep sat merges hidden duplicates" `Quick
+            test_sweep_sat_strengthens;
+          Alcotest.test_case "sweep sat folds hidden constants" `Quick
+            test_sweep_sat_const;
+          Alcotest.test_case "pctrl partial evaluation certified" `Quick
+            test_pctrl_certified;
+          Alcotest.test_case "pctrl mutation refuted" `Quick
+            test_pctrl_mutation_refuted;
+        ] );
+    ]
